@@ -1,0 +1,61 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each ``test_figXX_*.py`` regenerates one table/figure of the paper on a
+scaled system (see DESIGN.md section 5) and checks the qualitative shape
+the paper reports.  Runs are cached in a session-scoped
+:class:`~repro.experiments.Runner`, so figures sharing the competitive
+grid (6, 8, 10, 13) do not repeat simulations.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run the full 20x9 kernel grid instead of the
+  default subsets (hours instead of minutes).
+* ``REPRO_BENCH_SCALE``  — workload scale factor (default 0.12).
+
+Result tables are written to ``benchmarks/results/`` for inclusion in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentScale, Runner
+from repro.workloads import pim_ids, rodinia_ids
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+
+#: Kernel subsets for the default (quick) benchmark runs.  The GPU picks
+#: cover the paper's extremes: G6 low locality / high BLP, G17 high RBHR,
+#: G19 L2-filtered traffic; PIM picks cover STREAM (P1/P2) and GEMV (P7).
+GPU_SUBSET = rodinia_ids() if FULL else ["G6", "G17", "G19"]
+PIM_SUBSET = pim_ids() if FULL else ["P1", "P2", "P7"]
+#: Figure 13's GPU kernels (compute-intensive + memory-intensive picks).
+FIG13_GPUS = ("G10", "G6", "G11", "G17", "G19") if FULL else ("G10", "G6", "G17")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def experiment_scale(**overrides) -> ExperimentScale:
+    defaults = dict(workload_scale=SCALE, starvation_factor=15, seed=1)
+    defaults.update(overrides)
+    return ExperimentScale(**defaults)
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(experiment_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,43 @@
+"""Section VII-A: mode-switch logic area, F3FS vs FR-FCFS.
+
+The paper's Vitis HLS synthesis reports 377 LUTs / 88 FFs for FR-FCFS's
+switch logic and 275 LUTs / 143 FFs for F3FS.  The analytical model
+reproduces both within a few percent and the qualitative trade-off: F3FS
+needs fewer LUTs (no per-bank conflict tracking) but more flip-flops
+(bypass counters + CAP registers).
+"""
+
+from conftest import write_result
+
+from repro.core.area import (
+    PAPER_F3FS,
+    PAPER_FRFCFS,
+    f3fs_switch_area,
+    frfcfs_switch_area,
+    relative_error,
+)
+from repro.experiments import format_table
+
+
+def test_area_model(benchmark, results_dir):
+    def run():
+        return frfcfs_switch_area(num_banks=16), f3fs_switch_area()
+
+    frfcfs, f3fs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {"design": "FR-FCFS (model)", "luts": frfcfs.luts, "ffs": frfcfs.flip_flops},
+        {"design": "FR-FCFS (paper)", "luts": PAPER_FRFCFS.luts, "ffs": PAPER_FRFCFS.flip_flops},
+        {"design": "F3FS (model)", "luts": f3fs.luts, "ffs": f3fs.flip_flops},
+        {"design": "F3FS (paper)", "luts": PAPER_F3FS.luts, "ffs": PAPER_F3FS.flip_flops},
+    ]
+    write_result(results_dir, "area_model", format_table(rows, ["design", "luts", "ffs"]))
+
+    # Quantitative calibration within 5% of the paper's synthesis.
+    assert relative_error(frfcfs, PAPER_FRFCFS) < 0.05
+    assert relative_error(f3fs, PAPER_F3FS) < 0.05
+    # Qualitative trade-off: fewer LUTs, more FFs for F3FS.
+    assert f3fs.luts < frfcfs.luts
+    assert f3fs.flip_flops > frfcfs.flip_flops
+    # The model extrapolates: more banks make FR-FCFS strictly bigger.
+    assert frfcfs_switch_area(num_banks=32).luts > frfcfs.luts

@@ -1,0 +1,66 @@
+"""Energy study: mode switching wastes row-activation energy.
+
+Not a paper figure, but a direct corollary of Figure 9/10: every
+MEM<->PIM switch destroys row locality, and each destroyed row costs an
+ACT+PRE when its requests return.  A switch-happy policy (FCFS) should
+therefore pay more activation energy per serviced request than F3FS,
+whose current-mode-first arbitration preserves locality.
+"""
+
+from conftest import experiment_scale, write_result
+
+from repro.core.policies import PolicySpec
+from repro.experiments import format_table
+from repro.sim.system import GPUSystem
+from repro.workloads import get_gpu_kernel, get_pim_kernel
+
+POLICIES = [
+    PolicySpec("FCFS"),
+    PolicySpec("FR-RR-FCFS"),
+    PolicySpec("F3FS", mem_cap=256, pim_cap=256),
+]
+
+
+def test_energy_per_policy(benchmark, results_dir):
+    scale = experiment_scale()
+
+    def run():
+        rows = []
+        for policy in POLICIES:
+            system = GPUSystem(
+                scale.config(2), policy, seed=scale.seed, scale=scale.workload_scale
+            )
+            system.add_kernel(get_gpu_kernel("G19"), num_sms=scale.gpu_sms_corun, loop=True)
+            system.add_kernel(get_pim_kernel("P1"), num_sms=scale.pim_sms, loop=True)
+            result = system.run(max_cycles=400_000)
+            energy = system.energy_report()
+            serviced = sum(
+                c.stats.mem_issued + c.stats.pim_issued for c in system.controllers
+            )
+            rows.append(
+                {
+                    "policy": policy.name,
+                    "switches": result.mode_switches,
+                    "activate_nj": energy.activate,
+                    "dynamic_nj_per_req": energy.dynamic / serviced,
+                    "activate_nj_per_req": energy.activate / serviced,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "energy_per_policy",
+        format_table(
+            rows,
+            ["policy", "switches", "activate_nj", "dynamic_nj_per_req", "activate_nj_per_req"],
+        ),
+    )
+    by_name = {row["policy"]: row for row in rows}
+    # Switch-happy scheduling pays more activation energy per request.
+    assert (
+        by_name["FCFS"]["activate_nj_per_req"]
+        > by_name["F3FS"]["activate_nj_per_req"]
+    )
+    assert by_name["FCFS"]["switches"] > by_name["F3FS"]["switches"]

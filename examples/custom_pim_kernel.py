@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Write your own PIM kernel with the imperative program builder.
+
+The :class:`repro.pim.PIMProgram` API is the programming layer a PIM
+library would ship: declare operand vectors, chain SIMD operations, and
+``build()`` compiles to a block-structured kernel (Figure 3) that runs on
+the simulated PIM-enabled memory — with real data when the system is
+functional.
+
+The kernel below computes a fused multiply-add with squaring,
+``out[i] = x[i]^2 + y[i]``, on every bank of every channel in lock-step,
+then verifies the results against numpy.
+
+Run:  python examples/custom_pim_kernel.py
+"""
+
+import numpy as np
+
+from repro import GPUSystem, PolicySpec, SystemConfig
+from repro.gpu.kernel import LaunchContext
+from repro.pim.program import PIMProgram
+
+ELEMENTS = 32
+
+
+def build_kernel():
+    program = PIMProgram("x-squared-plus-y")
+    x = program.vector("x")
+    y = program.vector("y")
+    out = program.vector("out")
+    register = program.load(x)  # RF <- x[i]
+    register = program.mul(register, x)  # RF <- RF * x[i]
+    register = program.add(register, y)  # RF <- RF + y[i]
+    program.store(register, out)  # out[i] <- RF
+    return program.build(elements=ELEMENTS)
+
+
+def main():
+    config = SystemConfig.scaled(num_channels=4, num_sms=4)
+    spec = build_kernel()
+    system = GPUSystem(config, PolicySpec("F3FS"), functional=True)
+    ctx = LaunchContext(
+        mapper=config.mapper,
+        num_channels=config.num_channels,
+        banks_per_channel=config.banks_per_channel,
+        num_sms=1,
+        warps_per_sm=config.warps_per_sm,
+        rng=np.random.default_rng(0),
+    )
+
+    rng = np.random.default_rng(7)
+    inputs = {}
+    for channel in range(config.num_channels):
+        for bank in range(config.banks_per_channel):
+            for element in range(ELEMENTS):
+                x_val = float(rng.integers(1, 10))
+                y_val = float(rng.integers(1, 10))
+                row, col = spec.vector_location(ctx, spec.vectors["x"], element)
+                system.store.write(channel, bank, row, col, x_val)
+                row, col = spec.vector_location(ctx, spec.vectors["y"], element)
+                system.store.write(channel, bank, row, col, y_val)
+                inputs[(channel, bank, element)] = (x_val, y_val)
+
+    system.add_kernel(spec, num_sms=1)
+    result = system.run()
+    kernel = result.kernels[0]
+    print(f"{spec.name}: {kernel.requests_injected} PIM requests in "
+          f"{result.cycles} cycles (RBHR {kernel.row_buffer_hit_rate:.3f})")
+
+    errors = 0
+    for (channel, bank, element), (x_val, y_val) in inputs.items():
+        row, col = spec.vector_location(ctx, spec.vectors["out"], element)
+        got = system.store.read(channel, bank, row, col)
+        if got != x_val * x_val + y_val:
+            errors += 1
+    total = len(inputs)
+    print(f"verification: {total - errors}/{total} results correct")
+    if errors:
+        raise SystemExit("FAILED")
+    print("OK: custom in-memory kernel computes x^2 + y everywhere")
+
+
+if __name__ == "__main__":
+    main()

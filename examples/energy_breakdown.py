@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Energy study: why compute-in-memory saves energy (and when it doesn't).
+
+Runs the same STREAM-Add computation two ways — as a PIM kernel (the
+in-memory version) and as an equivalent host-side load/add/store kernel —
+and breaks down where the energy goes (see repro.dram.power for the
+model).  The PIM version pays DRAM-core column energy on every bank but
+never moves data over the I/O pins, the interconnect, or into caches;
+the host version pays for all of that movement.
+
+Run:  python examples/energy_breakdown.py
+"""
+
+from repro import GPUSystem, PolicySpec, SystemConfig
+from repro.workloads.synthetic import GPUKernelProfile, PIMStreamKernel
+
+ELEMENTS = 512
+
+
+def run_pim(config):
+    system = GPUSystem(config, PolicySpec("FR-FCFS"))
+    system.add_kernel(
+        PIMStreamKernel(name="add-pim", elements_per_warp=ELEMENTS), num_sms=1
+    )
+    result = system.run()
+    words = ELEMENTS * config.banks_per_channel * config.num_channels
+    return system, result, words
+
+
+def run_host(config):
+    system = GPUSystem(config, PolicySpec("FR-FCFS"))
+    # 2 loads + 1 store per element, streaming with no reuse.
+    system.add_kernel(
+        GPUKernelProfile(
+            name="add-host",
+            accesses_per_warp=3 * ELEMENTS,
+            compute_per_phase=1,
+            accesses_per_phase=8,
+            row_locality=0.95,
+            l2_reuse=0.0,
+            store_fraction=0.34,
+        ),
+        num_sms=4,
+    )
+    result = system.run()
+    words = 3 * ELEMENTS * 4 * config.warps_per_sm  # accesses x SMs x warps
+    return system, result, words
+
+
+def report(label, system, result, words):
+    energy = system.energy_report()
+    print(f"{label}: {result.cycles} cycles, {words} words touched")
+    for component, value in energy.as_dict().items():
+        print(f"  {component:10s} {value:12.1f} nJ")
+    print(f"  -> dynamic energy per word: {energy.dynamic / words * 1000:.1f} pJ\n")
+    return energy.dynamic / words
+
+
+def main():
+    config = SystemConfig.scaled(num_channels=4, num_sms=4)
+    pim_cost = report("PIM STREAM-Add ", *run_pim(config))
+    host_cost = report("host STREAM-Add", *run_host(config))
+    print(f"in-memory execution uses {host_cost / pim_cost:.1f}x less dynamic "
+          f"energy per word (no I/O, no interconnect traversal)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Visualize MEM/PIM mode phases over time (Figure 9's dynamics, live).
+
+Runs one competitive pair under three contrasting policies and renders an
+ASCII strip of channel 0's servicing mode (``M`` = MEM, ``P`` = PIM,
+``|`` = draining for a switch).  FCFS ping-pongs at request granularity,
+FR-RR-FCFS rotates at row-conflict granularity, and F3FS batches each
+mode under its CAPs — the exact switching-frequency story of Figure 10a,
+visible at a glance.
+
+Run:  python examples/mode_timeline.py
+"""
+
+from repro import GPUSystem, PolicySpec, SystemConfig
+from repro.workloads import get_gpu_kernel, get_pim_kernel
+
+POLICIES = [
+    PolicySpec("FCFS"),
+    PolicySpec("FR-RR-FCFS"),
+    PolicySpec("F3FS", mem_cap=256, pim_cap=256),
+]
+
+
+def main():
+    config = SystemConfig.scaled().with_vc2
+    print("channel 0 servicing mode over time (M=MEM, P=PIM, |=switch drain)\n")
+    for policy in POLICIES:
+        system = GPUSystem(config, policy, scale=0.15)
+        timeline = system.attach_timeline(interval=20)
+        system.add_kernel(get_gpu_kernel("G19"), num_sms=8, loop=True)
+        system.add_kernel(get_pim_kernel("P1"), num_sms=2, loop=True)
+        result = system.run()
+        share = timeline.mode_share()
+        print(f"{policy.name:12s} {timeline.render_strip(channel=0, width=64)}")
+        print(
+            f"{'':12s} switches={result.mode_switches:5d}  "
+            f"mem={share['mem']:.0%} pim={share['pim']:.0%} "
+            f"switching={share['switching']:.0%}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Functional PIM programming: the paper's Figure 3 vector-add kernel.
+
+Demonstrates the fine-grained PIM offloading model end to end *with real
+data*: vectors a and b are written into the simulated DRAM, a
+block-structured PIM kernel (LOAD a / ADD b / STORE c per register-file
+group) streams through the memory system — SM, interconnect, memory
+controller mode switching, lock-step all-bank execution — and the result
+vector c is read back and checked against numpy.
+
+Run:  python examples/pim_vector_add.py
+"""
+
+import numpy as np
+
+from repro import GPUSystem, PolicySpec, SystemConfig
+from repro.gpu.kernel import LaunchContext
+from repro.pim.isa import PIMOpKind
+from repro.workloads.synthetic import PIMStreamKernel
+
+ELEMENTS_PER_WARP = 64  # elements processed per channel
+
+
+def main():
+    config = SystemConfig.scaled(num_channels=4, num_sms=4)
+    system = GPUSystem(config, PolicySpec("FCFS"), functional=True)
+
+    # Figure 3 kernel: LOAD a / ADD b / STORE c in RF-sized blocks.  The
+    # default layout packs the three operands into disjoint column ranges
+    # of each row (the high-locality layout real PIM kernels use).
+    kernel = PIMStreamKernel(
+        name="vector-add",
+        ops=((PIMOpKind.LOAD, 0), (PIMOpKind.ADD, 1), (PIMOpKind.STORE, 2)),
+        elements_per_warp=ELEMENTS_PER_WARP,
+    )
+    layout_ctx = LaunchContext(
+        mapper=config.mapper,
+        num_channels=config.num_channels,
+        banks_per_channel=config.banks_per_channel,
+        num_sms=1,
+        warps_per_sm=config.warps_per_sm,
+        rng=np.random.default_rng(0),
+    )
+
+    # Host side: initialize a and b across every channel and bank.
+    rng = np.random.default_rng(42)
+    expected = {}
+    for channel in range(config.num_channels):
+        for bank in range(config.banks_per_channel):
+            for element in range(ELEMENTS_PER_WARP):
+                row_a, col_a = kernel.operand_location(layout_ctx, 0, element)
+                row_b, col_b = kernel.operand_location(layout_ctx, 1, element)
+                row_c, col_c = kernel.operand_location(layout_ctx, 2, element)
+                a = float(rng.integers(1, 100))
+                b = float(rng.integers(1, 100))
+                system.store.write(channel, bank, row_a, col_a, a)
+                system.store.write(channel, bank, row_b, col_b, b)
+                expected[(channel, bank, row_c, col_c)] = a + b
+
+    system.add_kernel(kernel, num_sms=1)  # 1 SM x 4 warps -> 4 channels
+    result = system.run()
+
+    kernel_result = result.kernels[0]
+    print(f"PIM vector add: {kernel_result.requests_injected} PIM requests, "
+          f"{result.cycles} cycles")
+    print(f"PIM row-buffer hit rate: {kernel_result.row_buffer_hit_rate:.3f} "
+          f"(block structure keeps ops in-row)")
+
+    mismatches = 0
+    for (channel, bank, row, column), value in expected.items():
+        got = system.store.read(channel, bank, row, column)
+        if got != value:
+            mismatches += 1
+    total = len(expected)
+    print(f"verification: {total - mismatches}/{total} sums correct")
+    if mismatches:
+        raise SystemExit("FAILED: PIM computation produced wrong results")
+    print("OK: in-memory computation matches the host-side reference")
+
+
+if __name__ == "__main__":
+    main()

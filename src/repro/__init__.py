@@ -1,0 +1,52 @@
+"""repro — Concurrent PIM and Load/Store Servicing in PIM-Enabled Memory.
+
+A cycle-level simulator and experiment harness reproducing Gupta et al.,
+ISPASS 2025: a PIM-enabled GPU memory subsystem (HBM banks + bank-level
+PIM functional units), the SM-to-memory-controller interconnect with
+optional separate MEM/PIM virtual channels (VC2), nine memory-controller
+scheduling policies including the paper's F3FS, and harnesses regenerating
+every evaluation figure.
+
+Quick start::
+
+    from repro import GPUSystem, PolicySpec, SystemConfig
+    from repro.workloads import get_gpu_kernel, get_pim_kernel
+
+    config = SystemConfig.scaled().with_vc2
+    system = GPUSystem(config, PolicySpec("F3FS"), scale=0.25)
+    system.add_kernel(get_gpu_kernel("G6"), num_sms=8, loop=True)
+    system.add_kernel(get_pim_kernel("P1"), num_sms=2, loop=True)
+    result = system.run()
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.config import SystemConfig
+from repro.core import PAPER_POLICY_ORDER, PolicySpec, available_policies, make_policy
+from repro.dram import AddressMapper, DRAMTimings
+from repro.metrics import fairness_index, speedup, system_throughput
+from repro.request import Mode, Request, RequestType
+from repro.sim import GPUSystem, KernelResult, SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressMapper",
+    "DRAMTimings",
+    "GPUSystem",
+    "KernelResult",
+    "Mode",
+    "PAPER_POLICY_ORDER",
+    "PolicySpec",
+    "Request",
+    "RequestType",
+    "SimResult",
+    "SystemConfig",
+    "available_policies",
+    "fairness_index",
+    "make_policy",
+    "speedup",
+    "system_throughput",
+    "__version__",
+]

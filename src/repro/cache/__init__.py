@@ -1,0 +1,7 @@
+"""Cache substrate: per-SM L1, per-channel L2 slices, MSHRs."""
+
+from repro.cache.l1 import L1Cache, L1Stats
+from repro.cache.l2 import L2Slice, L2Stats, LookupResult
+from repro.cache.mshr import MSHRFile
+
+__all__ = ["L1Cache", "L1Stats", "L2Slice", "L2Stats", "LookupResult", "MSHRFile"]

@@ -1,0 +1,59 @@
+"""Miss-status holding registers for the L2 slices.
+
+A primary miss allocates an entry and forwards one fill request to DRAM;
+secondary misses to the same line merge into the entry and are satisfied
+when the fill returns.  A full MSHR file back-pressures the L2 input
+(the slice stops popping requests), which is one of the congestion paths
+the paper's Figure 7a illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.request import Request
+
+
+class MSHRFile:
+    """Fixed-capacity MSHR file keyed by cache-line address."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, List[Request]] = {}
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def has(self, line: int) -> bool:
+        return line in self._entries
+
+    def allocate(self, line: int, request: Request) -> bool:
+        """Open an entry for a primary miss; False if the file is full."""
+        if line in self._entries:
+            raise ValueError(f"line {line:#x} already has an MSHR entry")
+        if self.full:
+            return False
+        self._entries[line] = [request]
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+        return True
+
+    def merge(self, line: int, request: Request) -> None:
+        """Attach a secondary miss to an existing entry."""
+        self._entries[line].append(request)
+
+    def release(self, line: int) -> List[Request]:
+        """Close the entry when its fill returns; yields all merged requests."""
+        if line not in self._entries:
+            raise KeyError(f"no MSHR entry for line {line:#x}")
+        return self._entries.pop(line)
+
+    def waiting(self, line: int) -> Optional[List[Request]]:
+        return self._entries.get(line)

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --gpu G17 --pim P2 --policy F3FS --vcs 2
+    python -m repro collaborative --policy FR-FCFS --vcs 2
+    python -m repro figure fig11 --policies FR-FCFS F3FS
+    python -m repro figure fig8 --gpus G6 G17 --pims P1 P2
+
+Figure commands print the same tables the benchmark harness writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.policies import PAPER_POLICY_ORDER, available_policies
+from repro.experiments import (
+    ExperimentScale,
+    Runner,
+    collaborative_policy,
+    competitive_policy,
+    fig4_characterization,
+    fig5_corun_slowdown,
+    fig6_mem_arrival,
+    fig8_fairness_throughput,
+    fig10_switch_overheads,
+    fig11_llm_speedup,
+    fig13_intensity_extremes,
+    fig14a_ablation,
+    format_table,
+)
+from repro.workloads import PIM_SUITE, RODINIA, pim_ids, rodinia_ids
+
+FIGURES = ("fig4", "fig5", "fig6", "fig8", "fig10", "fig11", "fig13", "fig14a")
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.12, help="workload scale factor")
+    parser.add_argument("--channels", type=int, default=8, help="number of memory channels")
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+
+
+def _runner(args) -> Runner:
+    return Runner(
+        ExperimentScale(
+            num_channels=args.channels,
+            workload_scale=args.scale,
+            seed=args.seed,
+            starvation_factor=15,
+        )
+    )
+
+
+def cmd_list(args) -> int:
+    print("GPU kernels (Table II):")
+    for gid in rodinia_ids():
+        print(f"  {gid:4s} {RODINIA[gid].name}")
+    print("\nPIM kernels (Table III):")
+    for pid in pim_ids():
+        print(f"  {pid:4s} {PIM_SUITE[pid].name}")
+    print("\nScheduling policies:")
+    for name in PAPER_POLICY_ORDER:
+        marker = "  <- paper's proposal" if name == "F3FS" else ""
+        print(f"  {name}{marker}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    runner = _runner(args)
+    outcome = runner.competitive(args.gpu, args.pim, competitive_policy(args.policy), num_vcs=args.vcs)
+    rows = [
+        {
+            "gpu": outcome.gpu_id,
+            "pim": outcome.pim_id,
+            "policy": outcome.policy,
+            "vcs": outcome.num_vcs,
+            "gpu_speedup": outcome.gpu_speedup,
+            "pim_speedup": outcome.pim_speedup,
+            "fairness": outcome.fairness,
+            "throughput": outcome.throughput,
+            "switches": outcome.mode_switches,
+        }
+    ]
+    print(format_table(rows, list(rows[0])))
+    return 0
+
+
+def cmd_collaborative(args) -> int:
+    runner = _runner(args)
+    outcome = runner.collaborative(collaborative_policy(args.policy, args.vcs), num_vcs=args.vcs)
+    rows = [
+        {
+            "policy": outcome.policy,
+            "vcs": outcome.num_vcs,
+            "speedup": outcome.speedup,
+            "ideal": outcome.ideal_speedup,
+        }
+    ]
+    print(format_table(rows, list(rows[0])))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    runner = _runner(args)
+    gpus = args.gpus or ["G6", "G17", "G19"]
+    pims = args.pims or ["P1", "P2", "P7"]
+    policies = args.policies or PAPER_POLICY_ORDER
+
+    if args.name == "fig4":
+        data = fig4_characterization(runner, gpus, pims)
+        rows = [
+            {"group": group, "kernel": kid, **metrics}
+            for group, kernels in data.items()
+            for kid, metrics in kernels.items()
+        ]
+        print(format_table(rows, ["group", "kernel", "noc_rate", "mc_rate", "blp", "rbhr"]))
+    elif args.name == "fig5":
+        data = fig5_corun_slowdown(runner, suite=gpus, gpu_corunners=("G6", "G15"))
+        rows = [{"corunner": k, "avg_speedup": v} for k, v in data.items()]
+        print(format_table(rows, ["corunner", "avg_speedup"]))
+    elif args.name == "fig6":
+        data = fig6_mem_arrival(runner, gpus, pims, policies)
+        rows = [
+            {"config": f"VC{vcs}", "policy": policy, **per_gpu}
+            for vcs, by_policy in data.items()
+            for policy, per_gpu in by_policy.items()
+        ]
+        print(format_table(rows, ["config", "policy", *gpus]))
+    elif args.name == "fig8":
+        data = fig8_fairness_throughput(runner, gpus, pims, policies)
+        rows = [
+            {"config": f"VC{vcs}", "policy": policy, "pim": pid, **metrics}
+            for vcs, by_policy in data.items()
+            for policy, per_pim in by_policy.items()
+            for pid, metrics in per_pim.items()
+        ]
+        print(format_table(rows, ["config", "policy", "pim", "fairness", "throughput"]))
+    elif args.name == "fig10":
+        data = fig10_switch_overheads(runner, gpus, pims, policies)
+        rows = [
+            {"config": f"VC{vcs}", "policy": policy, **metrics}
+            for vcs, by_policy in data.items()
+            for policy, metrics in by_policy.items()
+        ]
+        print(
+            format_table(
+                rows, ["config", "policy", "switches_vs_fcfs", "conflicts_per_switch", "drain_latency"]
+            )
+        )
+    elif args.name == "fig11":
+        data = fig11_llm_speedup(runner, policies)
+        rows = [
+            {"config": f"VC{vcs}", "policy": policy, "speedup": value}
+            for vcs, by_policy in data.items()
+            for policy, value in by_policy.items()
+        ]
+        print(format_table(rows, ["config", "policy", "speedup"]))
+    elif args.name == "fig13":
+        data = fig13_intensity_extremes(runner, gpu_subset=gpus, pim_subset=pims, policies=policies)
+        rows = [
+            {"config": f"VC{vcs}", "policy": policy, "gpu": gid, **metrics}
+            for vcs, by_policy in data.items()
+            for policy, per_gpu in by_policy.items()
+            for gid, metrics in per_gpu.items()
+        ]
+        print(format_table(rows, ["config", "policy", "gpu", "fairness", "throughput"]))
+    elif args.name == "fig14a":
+        rows = fig14a_ablation(runner, gpu_subset=gpus)
+        print(format_table(rows, ["label", "fairness", "throughput", "llm_speedup"]))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.name)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    runner = _runner(args)
+    text = generate_report(
+        runner,
+        gpu_subset=args.gpus or ["G6", "G17", "G19"],
+        pim_subset=args.pims or ["P1", "P2", "P7"],
+        policies=args.policies,
+    )
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Concurrent PIM and load/store servicing simulator (ISPASS 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list kernels and policies").set_defaults(func=cmd_list)
+
+    run = sub.add_parser("run", help="run one competitive co-execution")
+    run.add_argument("--gpu", default="G17", choices=rodinia_ids())
+    run.add_argument("--pim", default="P1", choices=pim_ids())
+    run.add_argument("--policy", default="F3FS", choices=sorted(available_policies()))
+    run.add_argument("--vcs", type=int, default=1, choices=(1, 2))
+    _add_scale_args(run)
+    run.set_defaults(func=cmd_run)
+
+    collab = sub.add_parser("collaborative", help="run the LLM collaborative scenario")
+    collab.add_argument("--policy", default="F3FS", choices=sorted(available_policies()))
+    collab.add_argument("--vcs", type=int, default=1, choices=(1, 2))
+    _add_scale_args(collab)
+    collab.set_defaults(func=cmd_collaborative)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure's table")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--gpus", nargs="*", choices=rodinia_ids())
+    figure.add_argument("--pims", nargs="*", choices=pim_ids())
+    figure.add_argument("--policies", nargs="*", choices=PAPER_POLICY_ORDER)
+    _add_scale_args(figure)
+    figure.set_defaults(func=cmd_figure)
+
+    report = sub.add_parser("report", help="generate a markdown reproduction report")
+    report.add_argument("--out", default="-", help="output file ('-' = stdout)")
+    report.add_argument("--gpus", nargs="*", choices=rodinia_ids())
+    report.add_argument("--pims", nargs="*", choices=pim_ids())
+    report.add_argument("--policies", nargs="*", choices=PAPER_POLICY_ORDER)
+    _add_scale_args(report)
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's core contribution: PIM-aware memory-controller scheduling."""
+
+from repro.core.controller import ControllerStats, MemoryController, SwitchRecord
+from repro.core.policies import (
+    PAPER_POLICY_ORDER,
+    PolicySpec,
+    SchedulingPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+__all__ = [
+    "ControllerStats",
+    "MemoryController",
+    "PAPER_POLICY_ORDER",
+    "PolicySpec",
+    "SchedulingPolicy",
+    "SwitchRecord",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,93 @@
+"""Memory-controller scheduling policies (Section III-D + Section VII).
+
+Use :func:`make_policy` (or :class:`PolicySpec`) to construct instances by
+name; one instance is created per memory controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.policies.base import Decision, PolicySpec, SchedulingPolicy
+from repro.core.policies.bliss import BLISS
+from repro.core.policies.dynamic_f3fs import DynamicF3FS
+from repro.core.policies.f3fs import F3FS
+from repro.core.policies.fcfs import FCFS
+from repro.core.policies.frfcfs import FRFCFS
+from repro.core.policies.frfcfs_cap import FRFCFSCap
+from repro.core.policies.frrr import FRRRFCFS
+from repro.core.policies.gather_issue import GatherIssue
+from repro.core.policies.sms import SMS
+from repro.core.policies.static_first import MEMFirst, PIMFirst
+
+_REGISTRY: Dict[str, Callable[..., SchedulingPolicy]] = {
+    FCFS.name: FCFS,
+    MEMFirst.name: MEMFirst,
+    PIMFirst.name: PIMFirst,
+    FRFCFS.name: FRFCFS,
+    FRFCFSCap.name: FRFCFSCap,
+    BLISS.name: BLISS,
+    FRRRFCFS.name: FRRRFCFS,
+    GatherIssue.name: GatherIssue,
+    F3FS.name: F3FS,
+    # Extensions beyond the paper's evaluation (see each module's
+    # docstring): an SMS-style batch scheduler from the related work, and
+    # the runtime-adaptive F3FS the paper leaves to future work.
+    SMS.name: SMS,
+    DynamicF3FS.name: DynamicF3FS,
+}
+
+#: The order in which the paper's figures present the policies.
+PAPER_POLICY_ORDER: List[str] = [
+    "FCFS",
+    "MEM-First",
+    "PIM-First",
+    "FR-FCFS",
+    "FR-FCFS-Cap",
+    "BLISS",
+    "FR-RR-FCFS",
+    "G&I",
+    "F3FS",
+]
+
+
+def available_policies() -> List[str]:
+    return list(_REGISTRY)
+
+
+def make_policy(name: str, **params) -> SchedulingPolicy:
+    """Construct a policy by its registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(_REGISTRY)}") from None
+    return factory(**params)
+
+
+def register_policy(name: str, factory: Callable[..., SchedulingPolicy]) -> None:
+    """Register a custom policy (used by extensions and tests)."""
+    if name in _REGISTRY:
+        raise ValueError(f"policy {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+__all__ = [
+    "BLISS",
+    "Decision",
+    "DynamicF3FS",
+    "F3FS",
+    "FCFS",
+    "FRFCFS",
+    "FRFCFSCap",
+    "FRRRFCFS",
+    "GatherIssue",
+    "MEMFirst",
+    "PAPER_POLICY_ORDER",
+    "PIMFirst",
+    "PolicySpec",
+    "SMS",
+    "SchedulingPolicy",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,143 @@
+"""Scheduling-policy framework for the memory controller.
+
+A policy inspects the controller's queues and bank state each decision
+cycle and returns a :class:`Decision`:
+
+* ``Decision.mem(request)`` — issue this MEM request (must be issuable,
+  i.e. its bank accepts a new request this cycle).  Only legal in MEM mode.
+* ``Decision.pim()`` — issue the oldest PIM request (PIM is always FCFS
+  for correctness of the block structure).  Only legal in PIM mode.
+* ``Decision.switch(mode)`` — begin a mode switch (drain, then flip).
+* ``Decision.idle()`` — nothing to do this cycle.
+
+The controller enforces the mode mechanics (draining in-flight requests,
+switch-overhead accounting); policies only choose requests and request
+switches.  One policy instance is created per memory controller, so
+policies are free to keep per-channel state.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.request import Mode, Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import MemoryController
+
+
+@dataclass(frozen=True)
+class Decision:
+    kind: str  # "mem" | "pim" | "switch" | "idle"
+    request: Optional[Request] = None
+    target: Optional[Mode] = None
+
+    @classmethod
+    def mem(cls, request: Request) -> "Decision":
+        return cls("mem", request=request)
+
+    @classmethod
+    def pim(cls) -> "Decision":
+        return cls("pim")
+
+    @classmethod
+    def switch(cls, target: Mode) -> "Decision":
+        return cls("switch", target=target)
+
+    @classmethod
+    def idle(cls) -> "Decision":
+        return cls("idle")
+
+
+IDLE = Decision.idle()
+
+
+class SchedulingPolicy(abc.ABC):
+    """Base class for memory-controller scheduling policies."""
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    def attach(self, controller: "MemoryController") -> None:
+        """Called once when the policy is bound to its controller."""
+        self.controller = controller
+
+    @abc.abstractmethod
+    def decide(self, ctl: "MemoryController", cycle: int) -> Decision:
+        """Choose the next action for this decision cycle."""
+
+    # -- notification hooks -------------------------------------------------
+
+    def on_issue(self, request: Request, cycle: int) -> None:
+        """Called after a request is issued to DRAM/PIM."""
+
+    def on_switch(self, new_mode: Mode, cycle: int) -> None:
+        """Called when a mode switch completes."""
+
+    def on_enqueue(self, request: Request, cycle: int) -> None:
+        """Called when a request enters the controller's queues."""
+
+    # -- shared selection helpers --------------------------------------------
+
+    @staticmethod
+    def oldest(requests: Iterable[Request]) -> Optional[Request]:
+        best: Optional[Request] = None
+        for request in requests:
+            if best is None or request.mc_seq < best.mc_seq:
+                best = request
+        return best
+
+    @staticmethod
+    def frfcfs_pick(ctl: "MemoryController", cycle: int, exclude_conflict_banks: bool = False) -> Optional[Request]:
+        """Row-hit-first, then oldest-first pick among issuable MEM requests."""
+        best_hit: Optional[Request] = None
+        best_any: Optional[Request] = None
+        for request in ctl.issuable_mem(cycle, exclude_conflict_banks=exclude_conflict_banks):
+            if ctl.channel.is_row_hit(request):
+                if best_hit is None or request.mc_seq < best_hit.mc_seq:
+                    best_hit = request
+            if best_any is None or request.mc_seq < best_any.mc_seq:
+                best_any = request
+        return best_hit if best_hit is not None else best_any
+
+    @staticmethod
+    def fallback_when_empty(ctl: "MemoryController") -> Optional[Decision]:
+        """Switch modes when the current queue is empty and the other is not.
+
+        This liveness fallback is shared by every policy: no reasonable
+        arbiter lets the DRAM idle while requests of the other type wait.
+        """
+        if ctl.mode is Mode.MEM:
+            if not ctl.mem_queue and ctl.pim_queue:
+                return Decision.switch(Mode.PIM)
+        else:
+            if not ctl.pim_queue and ctl.mem_queue:
+                return Decision.switch(Mode.MEM)
+        return None
+
+
+class PolicySpec:
+    """A policy name plus constructor parameters.
+
+    One :class:`SchedulingPolicy` instance is created per memory
+    controller, so experiments pass specs around instead of instances.
+    """
+
+    def __init__(self, name: str, **params) -> None:
+        self.name = name
+        self.params = dict(params)
+
+    def create(self) -> SchedulingPolicy:
+        from repro.core.policies import make_policy
+
+        return make_policy(self.name, **self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.params:
+            return f"PolicySpec({self.name!r})"
+        return f"PolicySpec({self.name!r}, {self.params!r})"
+
+    def label(self) -> str:
+        return self.name

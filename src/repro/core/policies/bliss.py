@@ -1,0 +1,82 @@
+"""Blacklisting memory scheduler (BLISS) [62].
+
+An application (kernel) that is serviced ``threshold`` times consecutively
+is blacklisted.  Priority order: (1) non-blacklisted application first,
+(2) row-buffer hit first, (3) oldest first.  The blacklist is cleared every
+``clear_interval`` cycles.  The paper observes that with PIM co-execution
+BLISS devolves into a time-multiplex of MEM-First / PIM-First / FR-FCFS
+(roughly 20/20/60 with threshold 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.policies.base import IDLE, Decision, SchedulingPolicy
+from repro.request import Mode, Request
+
+DEFAULT_THRESHOLD = 4
+DEFAULT_CLEAR_INTERVAL = 10_000
+
+
+class BLISS(SchedulingPolicy):
+    name = "BLISS"
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        clear_interval: int = DEFAULT_CLEAR_INTERVAL,
+    ) -> None:
+        if threshold < 1 or clear_interval < 1:
+            raise ValueError("threshold and clear_interval must be positive")
+        self.threshold = threshold
+        self.clear_interval = clear_interval
+        self.blacklist: Set[int] = set()
+        self._streak_kernel: Optional[int] = None
+        self._streak_length = 0
+        self._last_clear = 0
+
+    def _maybe_clear(self, cycle: int) -> None:
+        if cycle - self._last_clear >= self.clear_interval:
+            self.blacklist.clear()
+            self._last_clear = cycle
+
+    def _score(self, ctl, request: Request, is_hit: bool):
+        """Lower tuples win: (blacklisted, not-hit, age)."""
+        return (request.kernel_id in self.blacklist, not is_hit, request.mc_seq)
+
+    def decide(self, ctl, cycle):
+        self._maybe_clear(cycle)
+        best: Optional[Request] = None
+        best_score = None
+        for request in ctl.issuable_mem(cycle):
+            score = self._score(ctl, request, ctl.channel.is_row_hit(request))
+            if best_score is None or score < best_score:
+                best, best_score = request, score
+        if ctl.pim_queue:
+            head = ctl.pim_queue[0]
+            head_hit = not ctl.pim_exec.would_switch_row(head)
+            score = self._score(ctl, head, head_hit)
+            if best_score is None or score < best_score:
+                best, best_score = head, score
+        if best is None:
+            # Nothing issuable right now; if the other queue has the only
+            # traffic, the shared fallback will steer us there.
+            fallback = self.fallback_when_empty(ctl)
+            return fallback if fallback is not None else IDLE
+
+        if best.mode is not ctl.mode:
+            return Decision.switch(best.mode)
+        if best.mode is Mode.PIM:
+            return Decision.pim() if ctl.pim_ready(cycle) else IDLE
+        return Decision.mem(best)
+
+    def on_issue(self, request, cycle):
+        kernel = request.kernel_id
+        if kernel == self._streak_kernel:
+            self._streak_length += 1
+        else:
+            self._streak_kernel = kernel
+            self._streak_length = 1
+        if self._streak_length >= self.threshold:
+            self.blacklist.add(kernel)

@@ -1,0 +1,32 @@
+"""HBM DRAM substrate: timings, address mapping, banks, channels."""
+
+from repro.dram.address import PAPER_ADDRESS_MAP, AddressMapper, DecodedAddress, scaled_address_map
+from repro.dram.bank import AccessKind, Bank, BankState
+from repro.dram.channel import Channel, ChannelStats, merge_intervals
+from repro.dram.power import EnergyAccountant, EnergyBreakdown, EnergyParams
+from repro.dram.refresh import RefreshTimer
+from repro.dram.storage import DataStore
+from repro.dram.timings import DRAMTimings
+from repro.dram.validate import Command, Violation, validate_command_log
+
+__all__ = [
+    "AccessKind",
+    "AddressMapper",
+    "Bank",
+    "BankState",
+    "Channel",
+    "ChannelStats",
+    "Command",
+    "DRAMTimings",
+    "DataStore",
+    "DecodedAddress",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "PAPER_ADDRESS_MAP",
+    "RefreshTimer",
+    "Violation",
+    "merge_intervals",
+    "scaled_address_map",
+    "validate_command_log",
+]

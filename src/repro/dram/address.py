@@ -1,0 +1,151 @@
+"""Physical address mapping.
+
+Table I gives the paper's address map as a bit string (MSB to LSB)::
+
+    RRRRRRRR RRRRRRRR RRRRRBBB CCCBDDDD DCCC
+
+where R=row, B=bank, C=column and D=channel.  The paper deliberately uses
+this regular scheme (instead of pseudo-random I-poly interleaving) so PIM
+kernels can map warps to channels and threads to banks.
+
+:class:`AddressMapper` parses such a spec string and provides bidirectional
+translation between flat byte addresses and (channel, bank, row, column)
+coordinates.  The mapping is a bijection over the address bits named in the
+spec; any address bits above the spec are treated as additional row bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+# Paper's map, MSB first (dots are cosmetic separators).
+PAPER_ADDRESS_MAP = "RRRRRRRRRRRRRRRRRRRRRBBBCCCBDDDDDCCC"
+
+_FIELDS = {"R": "row", "B": "bank", "C": "column", "D": "channel"}
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapper:
+    """Bit-sliced address mapper built from a spec string.
+
+    Parameters
+    ----------
+    spec:
+        String of characters from ``{R, B, C, D}`` (dots/spaces ignored),
+        written MSB first.  Each letter assigns one address bit to the
+        corresponding field; bits are concatenated MSB-first within a
+        field.
+    """
+
+    def __init__(self, spec: str = PAPER_ADDRESS_MAP) -> None:
+        clean = [c for c in spec if c not in ". _"]
+        unknown = sorted({c for c in clean if c not in _FIELDS})
+        if unknown:
+            raise ValueError(f"unknown field letters in address map: {unknown}")
+        if not clean:
+            raise ValueError("empty address map spec")
+        self.spec = "".join(clean)
+        self.total_bits = len(clean)
+
+        # For each field, the list of address-bit positions (LSB=0) holding
+        # its bits, ordered from the field's own MSB to LSB.
+        positions: Dict[str, List[int]] = {name: [] for name in _FIELDS.values()}
+        for i, letter in enumerate(clean):
+            bit = self.total_bits - 1 - i  # MSB first in the spec
+            positions[_FIELDS[letter]].append(bit)
+        self._positions = positions
+
+        self.channel_bits = len(positions["channel"])
+        self.bank_bits = len(positions["bank"])
+        self.row_bits = len(positions["row"])
+        self.column_bits = len(positions["column"])
+
+    @property
+    def num_channels(self) -> int:
+        return 1 << self.channel_bits
+
+    @property
+    def num_banks(self) -> int:
+        return 1 << self.bank_bits
+
+    @property
+    def num_rows(self) -> int:
+        return 1 << self.row_bits
+
+    @property
+    def num_columns(self) -> int:
+        return 1 << self.column_bits
+
+    def _extract(self, address: int, field: str) -> int:
+        value = 0
+        for bit in self._positions[field]:
+            value = (value << 1) | ((address >> bit) & 1)
+        return value
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Split a flat byte address into DRAM coordinates."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        base = address & ((1 << self.total_bits) - 1)
+        extra_row = address >> self.total_bits  # overflow bits extend the row
+        return DecodedAddress(
+            channel=self._extract(base, "channel"),
+            bank=self._extract(base, "bank"),
+            row=self._extract(base, "row") | (extra_row << self.row_bits),
+            column=self._extract(base, "column"),
+        )
+
+    def encode(self, channel: int, bank: int, row: int, column: int) -> int:
+        """Compose DRAM coordinates back into a flat byte address."""
+        fields = {"channel": channel, "bank": bank, "row": row, "column": column}
+        for name, value in fields.items():
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in ("channel", "bank", "column"):
+            width = len(self._positions[name])
+            if fields[name] >= (1 << width):
+                raise ValueError(f"{name}={fields[name]} exceeds {width} bits")
+        extra_row = row >> self.row_bits
+        fields["row"] = row & ((1 << self.row_bits) - 1)
+
+        address = extra_row << self.total_bits
+        for name, value in fields.items():
+            bits = self._positions[name]
+            for i, bit in enumerate(bits):
+                # bits[] is MSB-first for the field.
+                field_bit = (value >> (len(bits) - 1 - i)) & 1
+                address |= field_bit << bit
+        return address
+
+    def assign(self, request) -> None:
+        """Decode ``request.address`` into the request's coordinate fields."""
+        decoded = self.decode(request.address)
+        request.channel = decoded.channel
+        request.bank = decoded.bank
+        request.row = decoded.row
+        request.column = decoded.column
+
+    def shape(self) -> Tuple[int, int, int, int]:
+        return (self.num_channels, self.num_banks, self.num_rows, self.num_columns)
+
+
+def scaled_address_map(channel_bits: int, bank_bits: int = 4, column_bits: int = 7, row_bits: int = 16) -> str:
+    """Build a paper-style address map with a different channel count.
+
+    Keeps the paper's general structure (row bits on top, channel bits low
+    so consecutive cache lines stripe across channels, a column split
+    around the channel bits for burst locality).
+    """
+    if min(channel_bits, bank_bits, row_bits) < 0 or column_bits < 1:
+        raise ValueError("bit widths must be non-negative (>=1 column bit)")
+    low_col = min(3, column_bits)
+    high_col = column_bits - low_col
+    return "R" * row_bits + "B" * bank_bits + "C" * high_col + "D" * channel_bits + "C" * low_col

@@ -1,0 +1,132 @@
+"""DRAM + PIM energy model.
+
+A DRAMPower-style event-energy model: each command class carries a fixed
+energy, plus background power per channel-cycle.  The constants are
+representative of HBM-class devices (order-of-magnitude correct, not
+vendor-calibrated) and are easily overridden; what the experiments care
+about is the *relative* breakdown — in particular the PIM energy
+proposition the paper's introduction cites: PIM ops pay the DRAM core
+column energy on every bank but never the I/O, SerDes, interconnect, or
+cache energy of moving data to the host.
+
+Energies are in picojoules; reports are in nanojoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (pJ) and background power (pJ/cycle/channel)."""
+
+    act_pre_pj: float = 1200.0  # one ACT + eventual PRE of one bank's row
+    core_column_pj: float = 250.0  # DRAM core energy of one 32B column access
+    io_pj: float = 750.0  # I/O + bus energy of moving 32B off-device
+    pim_fu_pj: float = 60.0  # one FU SIMD op on one DRAM word
+    refresh_pj: float = 25_000.0  # one all-bank refresh
+    noc_hop_pj: float = 100.0  # one request/reply crossing the interconnect
+    background_pj_per_cycle: float = 120.0  # per channel
+
+    def __post_init__(self) -> None:
+        for name in (
+            "act_pre_pj",
+            "core_column_pj",
+            "io_pj",
+            "pim_fu_pj",
+            "refresh_pj",
+            "noc_hop_pj",
+            "background_pj_per_cycle",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def mem_read_pj(self) -> float:
+        """One 32B read reaching the host: core column + I/O."""
+        return self.core_column_pj + self.io_pj
+
+    @property
+    def mem_write_pj(self) -> float:
+        return self.core_column_pj + self.io_pj
+
+    def pim_op_pj(self, banks: int) -> float:
+        """One lock-step PIM op: a column access + FU op in every bank."""
+        return banks * (self.core_column_pj + self.pim_fu_pj)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy totals (nJ) by component."""
+
+    activate: float = 0.0
+    read: float = 0.0
+    write: float = 0.0
+    pim: float = 0.0
+    refresh: float = 0.0
+    noc: float = 0.0
+    background: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.activate
+            + self.read
+            + self.write
+            + self.pim
+            + self.refresh
+            + self.noc
+            + self.background
+        )
+
+    @property
+    def dynamic(self) -> float:
+        return self.total - self.background
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "activate": self.activate,
+            "read": self.read,
+            "write": self.write,
+            "pim": self.pim,
+            "refresh": self.refresh,
+            "noc": self.noc,
+            "background": self.background,
+            "total": self.total,
+        }
+
+
+class EnergyAccountant:
+    """Turns simulation counters into an :class:`EnergyBreakdown`."""
+
+    def __init__(self, params: EnergyParams = EnergyParams()) -> None:
+        self.params = params
+
+    def account(
+        self,
+        cycles: int,
+        num_channels: int,
+        activates: int,
+        reads: int,
+        writes: int,
+        pim_ops: int,
+        pim_banks: int,
+        pim_row_switches: int,
+        refreshes: int,
+        noc_transfers: int,
+    ) -> EnergyBreakdown:
+        """All counts are totals across channels; energies come out in nJ."""
+        p = self.params
+        # PIM row switches precharge+activate every bank in lock-step.
+        total_activates = activates + pim_row_switches * pim_banks
+        return EnergyBreakdown(
+            activate=total_activates * p.act_pre_pj / 1000.0,
+            read=reads * p.mem_read_pj / 1000.0,
+            write=writes * p.mem_write_pj / 1000.0,
+            pim=pim_ops * p.pim_op_pj(pim_banks) / 1000.0,
+            refresh=refreshes * p.refresh_pj / 1000.0,
+            noc=noc_transfers * p.noc_hop_pj / 1000.0,
+            background=cycles * num_channels * p.background_pj_per_cycle / 1000.0,
+        )

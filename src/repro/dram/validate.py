@@ -1,0 +1,162 @@
+"""DRAM command-stream validation.
+
+The bank/channel model schedules a request's commands in one shot
+(:meth:`repro.dram.bank.Bank.schedule`).  To verify that the resulting
+schedules never violate JEDEC-style constraints, the channel can record
+every command it implies (``Channel(log_commands=True)``) and
+:func:`validate_command_log` replays the log against the raw timing rules:
+
+* per bank: ACT→column ≥ tRCD, ACT→PRE ≥ tRAS, PRE→ACT ≥ tRP,
+  column→column ≥ tCCDl, READ→PRE ≥ tRTP, WRITE-data→PRE ≥ tWR;
+* per channel: ACT→ACT ≥ tRRD across banks, column commands spaced by the
+  burst length (shared data bus).
+
+Used by the property-based tests as an independent oracle for the timing
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dram.timings import DRAMTimings
+
+#: Command kinds recorded in the log.
+ACT = "ACT"
+PRE = "PRE"
+READ = "READ"
+WRITE = "WRITE"
+
+
+@dataclass(frozen=True)
+class Command:
+    cycle: int
+    kind: str
+    bank: int
+    row: int = -1
+
+
+@dataclass
+class Violation:
+    rule: str
+    command: Command
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.rule} at cycle {self.command.cycle} (bank {self.command.bank}): {self.detail}"
+
+
+class _BankTracker:
+    def __init__(self) -> None:
+        self.last_act: Optional[int] = None
+        self.last_pre: Optional[int] = None
+        self.last_col: Optional[int] = None
+        self.last_read: Optional[int] = None
+        self.last_write: Optional[int] = None
+        self.open_row: Optional[int] = None
+
+
+def validate_command_log(
+    commands: List[Command], timings: DRAMTimings
+) -> List[Violation]:
+    """Check a channel's command log; returns all violations found."""
+    t = timings
+    banks: Dict[int, _BankTracker] = {}
+    last_act_any: Optional[int] = None
+    last_col_any: Optional[int] = None
+    violations: List[Violation] = []
+
+    def check(condition: bool, rule: str, command: Command, detail: str) -> None:
+        if not condition:
+            violations.append(Violation(rule, command, detail))
+
+    for command in sorted(commands, key=lambda c: c.cycle):
+        bank = banks.setdefault(command.bank, _BankTracker())
+        cycle = command.cycle
+        if command.kind == ACT:
+            check(
+                bank.open_row is None,
+                "ACT-on-open-row",
+                command,
+                f"row {bank.open_row} still open",
+            )
+            if bank.last_pre is not None:
+                check(
+                    cycle - bank.last_pre >= t.tRP,
+                    "tRP",
+                    command,
+                    f"PRE at {bank.last_pre}",
+                )
+            if last_act_any is not None:
+                check(
+                    cycle - last_act_any >= t.tRRD,
+                    "tRRD",
+                    command,
+                    f"previous ACT at {last_act_any}",
+                )
+            bank.last_act = cycle
+            bank.open_row = command.row
+            last_act_any = cycle
+        elif command.kind == PRE:
+            if bank.last_act is not None:
+                check(
+                    cycle - bank.last_act >= t.tRAS,
+                    "tRAS",
+                    command,
+                    f"ACT at {bank.last_act}",
+                )
+            if bank.last_read is not None:
+                check(
+                    cycle - bank.last_read >= t.tRTP,
+                    "tRTP",
+                    command,
+                    f"READ at {bank.last_read}",
+                )
+            if bank.last_write is not None:
+                write_done = bank.last_write + t.tWL + t.burst_length
+                check(
+                    cycle - write_done >= t.tWR,
+                    "tWR",
+                    command,
+                    f"WRITE data done at {write_done}",
+                )
+            bank.last_pre = cycle
+            bank.open_row = None
+        elif command.kind in (READ, WRITE):
+            check(
+                bank.open_row is not None and bank.open_row == command.row,
+                "column-to-closed-row",
+                command,
+                f"open row is {bank.open_row}, accessed {command.row}",
+            )
+            if bank.last_act is not None:
+                check(
+                    cycle - bank.last_act >= t.tRCD,
+                    "tRCD",
+                    command,
+                    f"ACT at {bank.last_act}",
+                )
+            if bank.last_col is not None:
+                check(
+                    cycle - bank.last_col >= t.tCCDl,
+                    "tCCDl",
+                    command,
+                    f"previous column at {bank.last_col}",
+                )
+            if last_col_any is not None:
+                check(
+                    cycle - last_col_any >= t.burst_length,
+                    "data-bus",
+                    command,
+                    f"previous column (any bank) at {last_col_any}",
+                )
+            bank.last_col = cycle
+            last_col_any = cycle
+            if command.kind == READ:
+                bank.last_read = cycle
+            else:
+                bank.last_write = cycle
+        else:
+            violations.append(Violation("unknown-command", command, command.kind))
+    return violations

@@ -1,0 +1,56 @@
+"""Experiment harnesses: runners, per-figure sweeps, sensitivity studies."""
+
+from repro.experiments.figures import (
+    ABLATION_STAGES,
+    collaborative_policy,
+    competitive_policy,
+    competitive_sweep,
+    fig4_characterization,
+    fig5_corun_slowdown,
+    fig6_mem_arrival,
+    fig8_fairness_throughput,
+    fig10_switch_overheads,
+    fig11_llm_speedup,
+    fig13_intensity_extremes,
+    fig14a_ablation,
+    fig14b_queue_sensitivity,
+    format_table,
+)
+from repro.experiments.runner import (
+    BASELINE_POLICY,
+    CollaborativeOutcome,
+    CompetitiveOutcome,
+    ExperimentScale,
+    Runner,
+)
+from repro.experiments.parallel import GridTask, make_tasks, run_grid_parallel
+from repro.experiments.report import generate_report
+from repro.experiments.sweep import sweep_f3fs_caps, sweep_policy_parameter
+
+__all__ = [
+    "ABLATION_STAGES",
+    "BASELINE_POLICY",
+    "CollaborativeOutcome",
+    "CompetitiveOutcome",
+    "ExperimentScale",
+    "Runner",
+    "collaborative_policy",
+    "competitive_policy",
+    "competitive_sweep",
+    "fig10_switch_overheads",
+    "fig11_llm_speedup",
+    "fig13_intensity_extremes",
+    "fig14a_ablation",
+    "fig14b_queue_sensitivity",
+    "fig4_characterization",
+    "fig5_corun_slowdown",
+    "fig6_mem_arrival",
+    "fig8_fairness_throughput",
+    "format_table",
+    "generate_report",
+    "GridTask",
+    "make_tasks",
+    "run_grid_parallel",
+    "sweep_f3fs_caps",
+    "sweep_policy_parameter",
+]

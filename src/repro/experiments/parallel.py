@@ -1,0 +1,84 @@
+"""Parallel execution of competitive grids.
+
+The full 20x9x9x2 grid of Figure 8 is thousands of independent
+simulations; this module fans them out over worker processes.  Each task
+is self-contained — (gpu_id, pim_id, policy name+params, vcs, scale) —
+and workers rebuild their own Runner, so nothing unpicklable crosses the
+process boundary.  Standalone baselines are deduplicated inside each
+worker's Runner cache; pass ``cache_path`` to share them across workers
+through the disk cache.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import PolicySpec
+from repro.experiments.runner import CompetitiveOutcome, ExperimentScale, Runner
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One competitive simulation, picklable."""
+
+    gpu_id: str
+    pim_id: str
+    policy_name: str
+    policy_params: Tuple[Tuple[str, object], ...]
+    num_vcs: int
+
+    @property
+    def policy(self) -> PolicySpec:
+        return PolicySpec(self.policy_name, **dict(self.policy_params))
+
+
+def make_tasks(
+    gpu_subset: Sequence[str],
+    pim_subset: Sequence[str],
+    policies: Sequence[PolicySpec],
+    vc_configs: Sequence[int] = (1, 2),
+) -> List[GridTask]:
+    tasks = []
+    for num_vcs in vc_configs:
+        for policy in policies:
+            for gpu_id in gpu_subset:
+                for pim_id in pim_subset:
+                    tasks.append(
+                        GridTask(
+                            gpu_id=gpu_id,
+                            pim_id=pim_id,
+                            policy_name=policy.name,
+                            policy_params=tuple(sorted(policy.params.items())),
+                            num_vcs=num_vcs,
+                        )
+                    )
+    return tasks
+
+
+def _run_task(args: Tuple[GridTask, Dict, Optional[str]]) -> Dict:
+    """Worker entry point (module-level for pickling)."""
+    task, scale_fields, cache_path = args
+    runner = Runner(ExperimentScale(**scale_fields), cache_path=cache_path)
+    outcome = runner.competitive(task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs)
+    return asdict(outcome)
+
+
+def run_grid_parallel(
+    scale: ExperimentScale,
+    tasks: Sequence[GridTask],
+    max_workers: int = 4,
+    cache_path: Optional[str] = None,
+) -> List[CompetitiveOutcome]:
+    """Run tasks across processes; results come back in task order."""
+    if max_workers < 1:
+        raise ValueError("max_workers must be positive")
+    scale_fields = asdict(scale)
+    payloads = [(task, scale_fields, cache_path) for task in tasks]
+    if max_workers == 1:
+        raw = [_run_task(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            raw = list(pool.map(_run_task, payloads))
+    return [CompetitiveOutcome(**record) for record in raw]

@@ -1,0 +1,77 @@
+"""Parameter sweeps (sensitivity studies).
+
+The paper reports several sensitivity studies: the FR-FCFS-Cap CAP, the
+BLISS blacklist threshold (Section VI-A), the F3FS CAP pair (Section
+VII-B), and the interconnect queue size (Figure 14b).  These helpers run
+small competitive grids across a parameter range and report the mean
+fairness/throughput for each point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import PolicySpec
+from repro.experiments.runner import Runner
+from repro.metrics.stats import arithmetic_mean
+
+
+def sweep_policy_parameter(
+    runner: Runner,
+    policy_name: str,
+    parameter: str,
+    values: Sequence,
+    gpu_subset: Sequence[str],
+    pim_subset: Sequence[str],
+    num_vcs: int = 2,
+    base_params: Optional[Dict] = None,
+) -> List[Dict[str, float]]:
+    """Sweep one constructor parameter of a policy over a competitive grid.
+
+    Returns one row per value with mean fairness and throughput.
+    """
+    rows: List[Dict[str, float]] = []
+    for value in values:
+        params = dict(base_params or {})
+        params[parameter] = value
+        spec = PolicySpec(policy_name, **params)
+        runs = [
+            runner.competitive(gid, pid, spec, num_vcs=num_vcs)
+            for gid in gpu_subset
+            for pid in pim_subset
+        ]
+        rows.append(
+            {
+                "value": value,
+                "fairness": arithmetic_mean([r.fairness for r in runs]),
+                "throughput": arithmetic_mean([r.throughput for r in runs]),
+            }
+        )
+    return rows
+
+
+def sweep_f3fs_caps(
+    runner: Runner,
+    cap_pairs: Sequence[tuple],
+    gpu_subset: Sequence[str],
+    pim_subset: Sequence[str],
+    num_vcs: int = 1,
+) -> List[Dict[str, float]]:
+    """Sweep (MEM CAP, PIM CAP) pairs for F3FS (Section VII-B tuning)."""
+    rows: List[Dict[str, float]] = []
+    for mem_cap, pim_cap in cap_pairs:
+        spec = PolicySpec("F3FS", mem_cap=mem_cap, pim_cap=pim_cap)
+        runs = [
+            runner.competitive(gid, pid, spec, num_vcs=num_vcs)
+            for gid in gpu_subset
+            for pid in pim_subset
+        ]
+        rows.append(
+            {
+                "mem_cap": mem_cap,
+                "pim_cap": pim_cap,
+                "fairness": arithmetic_mean([r.fairness for r in runs]),
+                "throughput": arithmetic_mean([r.throughput for r in runs]),
+            }
+        )
+    return rows

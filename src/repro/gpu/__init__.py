@@ -1,0 +1,6 @@
+"""Host-side GPU substrate: SMs, kernels, warp programs."""
+
+from repro.gpu.kernel import KernelInstance, KernelSpec, LaunchContext, Phase
+from repro.gpu.sm import SM, WarpState
+
+__all__ = ["KernelInstance", "KernelSpec", "LaunchContext", "Phase", "SM", "WarpState"]

@@ -1,0 +1,230 @@
+"""Streaming multiprocessor (SM) model.
+
+The paper's bottlenecks live in the memory path, so the SM is modelled as a
+warp-level request injector with the properties that shape memory traffic:
+
+* warps alternate compute phases and memory phases,
+* load phases block a warp until all replies return,
+* PIM/store phases are fire-and-forget, so a PIM kernel's injection rate
+  is bounded only by the SM issue width (one request per cycle) and queue
+  backpressure — which is exactly how PIM kernels saturate the
+  interconnect (Section V),
+* a bounded number of outstanding loads (MSHR-like limit),
+* requests from one warp are issued in order (Orderlight [48] semantics;
+  the per-SM FIFO plus per-channel FCFS PIM queues preserve PIM block
+  order end to end).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.gpu.kernel import KernelInstance, Phase
+from repro.noc.vc import VCBuffer
+from repro.request import Request
+
+
+class WarpState:
+    """Execution state of one warp."""
+
+    __slots__ = (
+        "index",
+        "program",
+        "compute_until",
+        "pending",
+        "waiting_replies",
+        "wait_for_replies",
+        "done",
+    )
+
+    def __init__(self, index: int, program) -> None:
+        self.index = index
+        self.program = program
+        self.compute_until = 0
+        self.pending: Deque[Request] = deque()
+        self.waiting_replies = 0
+        self.wait_for_replies = False
+        self.done = False
+
+    def blocked_on_replies(self) -> bool:
+        return self.wait_for_replies and self.waiting_replies > 0 and not self.pending
+
+
+class SM:
+    """One streaming multiprocessor issuing requests for one kernel."""
+
+    def __init__(
+        self,
+        index: int,
+        output: VCBuffer,
+        max_outstanding: int = 64,
+        issue_width: int = 1,
+        l1=None,
+        l1_latency: int = 28,
+    ) -> None:
+        self.index = index
+        self.output = output
+        self.max_outstanding = max_outstanding
+        self.issue_width = issue_width
+        self.l1 = l1  # optional repro.cache.l1.L1Cache
+        self.l1_latency = l1_latency
+        self._local_replies: List[Tuple[int, int, Request]] = []
+        self._local_seq = itertools.count()
+        self.warps: List[WarpState] = []
+        self.instance: Optional[KernelInstance] = None
+        self.sm_slot = 0
+        self.outstanding_loads = 0
+        self._issue_rotation = 0
+        self.requests_injected = 0
+        self.finish_cycle: Optional[int] = None
+        # Wake-up optimization: skip cycles where no warp can progress.
+        self._next_wake = 0
+        self._dirty = True
+
+    # -- kernel binding ---------------------------------------------------
+
+    def attach(self, instance: KernelInstance, sm_slot: int, cycle: int = 0) -> None:
+        """Bind a kernel launch to this SM (slot = index within the launch)."""
+        self.instance = instance
+        self.sm_slot = sm_slot
+        self.issue_width = instance.spec.issue_width(instance.ctx)
+        warps = instance.spec.warps_per_sm(instance.ctx)
+        self.warps = [WarpState(w, instance.warp_program(sm_slot, w)) for w in range(warps)]
+        for warp in self.warps:
+            warp.compute_until = cycle
+        self.outstanding_loads = 0
+        self.finish_cycle = None
+        self._next_wake = cycle
+        self._dirty = True
+        if instance.cycle_launched is None:
+            instance.cycle_launched = cycle
+
+    @property
+    def idle(self) -> bool:
+        return self.instance is None
+
+    def is_done(self, cycle: int) -> bool:
+        if self.instance is None:
+            return True
+        if self.outstanding_loads > 0:
+            return False
+        return all(w.done and not w.pending for w in self.warps)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self, cycle: int) -> int:
+        """Advance warps and issue up to ``issue_width`` requests.
+
+        Returns the number of requests pushed into the output buffer.
+        """
+        if self.instance is None:
+            return 0
+        self._deliver_local_replies(cycle)
+        if not self._dirty and cycle < self._next_wake:
+            return 0
+        self._dirty = False
+        self._advance_warps(cycle)
+        issued = 0  # requests injected into the NoC (returned to caller)
+        slots = 0  # issue slots consumed, including L1-hit loads
+        num_warps = len(self.warps)
+        base = self._issue_rotation
+        for offset in range(num_warps):
+            if slots >= self.issue_width:
+                break
+            warp = self.warps[(base + offset) % num_warps]
+            if not warp.pending or cycle < warp.compute_until:
+                continue  # still computing: memory phase not reached yet
+            request = warp.pending[0]
+            if request.is_load and self.outstanding_loads >= self.max_outstanding:
+                continue
+            l1_hit = (
+                self.l1 is not None
+                and request.is_load
+                and self.l1.lookup_load(request.address)
+            )
+            if not l1_hit and not self.output.can_push(request):
+                continue
+            warp.pending.popleft()
+            if request.cycle_created < 0:
+                request.cycle_created = cycle
+            request.source = self.index
+            request.warp = warp.index
+            if l1_hit:
+                # Satisfied locally after the L1 hit latency; no NoC trip.
+                self.outstanding_loads += 1
+                if warp.wait_for_replies:
+                    warp.waiting_replies += 1
+                heapq.heappush(
+                    self._local_replies,
+                    (cycle + self.l1_latency, next(self._local_seq), request),
+                )
+            else:
+                if self.l1 is not None and request.type.value == "mem_store":
+                    self.l1.note_store(request.address)
+                request.cycle_noc_entry = cycle
+                self.output.try_push(request)
+                if request.is_load:
+                    self.outstanding_loads += 1
+                    if warp.wait_for_replies:
+                        warp.waiting_replies += 1
+                issued += 1
+            slots += 1
+            self._issue_rotation = (base + offset + 1) % num_warps
+        if slots or any(w.pending and cycle >= w.compute_until for w in self.warps):
+            # Still actively issuing (or blocked on buffer space / the
+            # outstanding-load limit) — retry next cycle.
+            self._next_wake = cycle + 1
+        else:
+            # All warps are computing, waiting on replies, or done;
+            # a reply (via receive_reply) marks the SM dirty.
+            computes = [
+                w.compute_until
+                for w in self.warps
+                if not w.done and not w.blocked_on_replies()
+            ]
+            self._next_wake = min(computes) if computes else cycle + 1_000_000
+        return issued
+
+    def _advance_warps(self, cycle: int) -> None:
+        for warp in self.warps:
+            if warp.done or warp.pending or warp.blocked_on_replies():
+                continue
+            if cycle < warp.compute_until:
+                continue
+            phase = next(warp.program, None)
+            if phase is None:
+                warp.done = True
+                continue
+            self._load_phase(warp, phase, cycle)
+
+    @staticmethod
+    def _load_phase(warp: WarpState, phase: Phase, cycle: int) -> None:
+        warp.compute_until = cycle + phase.compute_cycles
+        warp.wait_for_replies = phase.wait_for_replies
+        warp.pending.extend(phase.requests)
+
+    def _deliver_local_replies(self, cycle: int) -> None:
+        heap = self._local_replies
+        while heap and heap[0][0] <= cycle:
+            _, _, request = heapq.heappop(heap)
+            self.receive_reply(request, cycle)
+
+    def receive_reply(self, request: Request, cycle: int) -> None:
+        """A load reply returned (from the memory subsystem or the L1)."""
+        self.outstanding_loads -= 1
+        if self.outstanding_loads < 0:
+            raise RuntimeError(f"SM {self.index}: reply without outstanding load")
+        if self.l1 is not None and request.is_load:
+            self.l1.install(request.address)
+        warp = self.warps[request.warp]
+        if warp.wait_for_replies and warp.waiting_replies > 0:
+            warp.waiting_replies -= 1
+        self._dirty = True
+
+    def next_wake(self, cycle: int) -> int:
+        """Earliest future cycle this SM could make progress on its own."""
+        future = [w.compute_until for w in self.warps if not w.done and w.compute_until > cycle]
+        return min(future) if future else cycle + 1

@@ -1,0 +1,113 @@
+"""Time-series sampling of system state.
+
+A :class:`TimelineSampler` attached to a :class:`~repro.sim.system.GPUSystem`
+records, every ``interval`` cycles, each channel's servicing mode and the
+occupancies along the memory path.  This is how the phase behaviour the
+paper narrates (PIM bursts, MEM drains, mode ping-pong) can actually be
+*seen* for a given policy — see ``examples/mode_timeline.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+
+@dataclass
+class TimelineSample:
+    cycle: int
+    #: per-channel servicing mode ("mem", "pim", or "switching")
+    modes: List[str]
+    mem_queue_occupancy: List[int]
+    pim_queue_occupancy: List[int]
+    noc_occupancy: List[int]
+
+
+@dataclass
+class TimelineSampler:
+    """Samples system state on a fixed cadence."""
+
+    interval: int = 100
+    samples: List[TimelineSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError("interval must be positive")
+
+    def due(self, cycle: int) -> bool:
+        return cycle % self.interval == 0
+
+    def sample(self, system, cycle: int) -> None:
+        modes = []
+        for controller in system.controllers:
+            if controller.is_switching:
+                modes.append("switching")
+            else:
+                modes.append(controller.mode.value)
+        self.samples.append(
+            TimelineSample(
+                cycle=cycle,
+                modes=modes,
+                mem_queue_occupancy=[len(c.mem_queue) for c in system.controllers],
+                pim_queue_occupancy=[len(c.pim_queue) for c in system.controllers],
+                noc_occupancy=[len(b) for b in system.input_buffers],
+            )
+        )
+
+    # -- analysis helpers ----------------------------------------------------
+
+    def mode_share(self) -> Dict[str, float]:
+        """Fraction of (channel, sample) points spent in each state."""
+        counts: Dict[str, int] = {"mem": 0, "pim": 0, "switching": 0}
+        total = 0
+        for sample in self.samples:
+            for mode in sample.modes:
+                counts[mode] += 1
+                total += 1
+        if not total:
+            return {key: 0.0 for key in counts}
+        return {key: value / total for key, value in counts.items()}
+
+    def occupancy_series(self, what: str = "mem") -> List[float]:
+        """Average per-channel queue occupancy over time.
+
+        ``what``: "mem", "pim", or "noc".
+        """
+        attr = {
+            "mem": "mem_queue_occupancy",
+            "pim": "pim_queue_occupancy",
+            "noc": "noc_occupancy",
+        }.get(what)
+        if attr is None:
+            raise ValueError("what must be 'mem', 'pim', or 'noc'")
+        series = []
+        for sample in self.samples:
+            values = getattr(sample, attr)
+            series.append(sum(values) / len(values) if values else 0.0)
+        return series
+
+    def switch_points(self, channel: int = 0) -> List[int]:
+        """Cycles at which the sampled channel changed state."""
+        points = []
+        previous = None
+        for sample in self.samples:
+            state = sample.modes[channel]
+            if previous is not None and state != previous:
+                points.append(sample.cycle)
+            previous = state
+        return points
+
+    def render_strip(self, channel: int = 0, width: int = 80) -> str:
+        """ASCII strip chart of one channel's mode over time.
+
+        ``M`` = MEM mode, ``P`` = PIM mode, ``|`` = switching.
+        """
+        if not self.samples:
+            return ""
+        glyphs = {"mem": "M", "pim": "P", "switching": "|"}
+        states = [glyphs[s.modes[channel]] for s in self.samples]
+        if len(states) <= width:
+            return "".join(states)
+        stride = len(states) / width
+        return "".join(states[int(i * stride)] for i in range(width))

@@ -1,0 +1,15 @@
+"""Interconnect substrate: queues, virtual channels, crossbar, 2D mesh."""
+
+from repro.noc.islip import ISlipArbiter
+from repro.noc.mesh import MeshFabric, MeshRouter, MeshShape
+from repro.noc.queues import BoundedQueue
+from repro.noc.vc import VCBuffer
+
+__all__ = [
+    "BoundedQueue",
+    "ISlipArbiter",
+    "MeshFabric",
+    "MeshRouter",
+    "MeshShape",
+    "VCBuffer",
+]

@@ -1,0 +1,95 @@
+"""iSlip crossbar arbitration (McKeown [44]), modified per Section V-A.
+
+One arbitration iteration per cycle:
+
+1. **Request**: every input (SM link) offers the head of each of its
+   virtual channels, in round-robin VC preference order — the paper's
+   modification: "the arbiter records the previous VC served for each
+   incoming link and switches to the other VC presuming there is traffic
+   on it".  A head is only offered if the target output buffer can accept
+   it (credit-based flow control).
+2. **Grant**: every output (channel link) grants one requesting input,
+   chosen by a per-output round-robin pointer.
+3. **Accept**: every input accepts at most one grant, preferring its VC
+   rotation order; pointers advance only on accepted grants (the iSlip
+   "slip" that de-synchronizes the pointers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.noc.vc import VCBuffer
+from repro.request import Request
+
+
+class ISlipArbiter:
+    """Single-iteration iSlip matching between input and output VC buffers."""
+
+    def __init__(self, num_inputs: int, num_outputs: int) -> None:
+        if num_inputs < 1 or num_outputs < 1:
+            raise ValueError("need at least one input and one output")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self._grant_ptr = [0] * num_outputs  # per-output RR over inputs
+        self.transfers = 0
+
+    def step(
+        self,
+        inputs: Sequence[VCBuffer],
+        outputs: Sequence[VCBuffer],
+    ) -> List[Tuple[int, Request]]:
+        """Run one arbitration cycle; moves matched requests.
+
+        Returns the list of ``(output_index, request)`` transfers performed.
+        """
+        if len(inputs) != self.num_inputs or len(outputs) != self.num_outputs:
+            raise ValueError("input/output count mismatch")
+
+        # Request phase: collect per-output proposals, remembering each
+        # input's preference rank for the accept phase.
+        proposals: Dict[int, List[int]] = {}
+        offered: Dict[int, List[Tuple[int, Request]]] = {}
+        for i, buffer in enumerate(inputs):
+            if not buffer:
+                continue
+            heads = buffer.heads()
+            if not heads:
+                continue
+            ranked = []
+            for rank, head in enumerate(heads):
+                out = head.channel
+                if not 0 <= out < self.num_outputs:
+                    raise ValueError(f"request targets unknown output {out}")
+                if not outputs[out].can_push(head):
+                    continue
+                proposals.setdefault(out, []).append(i)
+                ranked.append((out, head))
+            if ranked:
+                offered[i] = ranked
+
+        # Grant phase: one grant per output, round-robin from the pointer.
+        grants: Dict[int, List[int]] = {}  # input -> granted outputs
+        for out, requesters in proposals.items():
+            pointer = self._grant_ptr[out]
+            chosen = min(
+                requesters,
+                key=lambda i: (i - pointer) % self.num_inputs,
+            )
+            grants.setdefault(chosen, []).append(out)
+
+        # Accept phase: each input takes the grant matching its most
+        # preferred offered head.
+        moved: List[Tuple[int, Request]] = []
+        for i, granted_outputs in grants.items():
+            granted = set(granted_outputs)
+            for out, head in offered[i]:
+                if out in granted:
+                    request = inputs[i].pop_matching(head)
+                    if not outputs[out].try_push(request):  # pragma: no cover
+                        raise RuntimeError(f"output {out} overflowed after grant")
+                    self._grant_ptr[out] = (i + 1) % self.num_inputs
+                    moved.append((out, request))
+                    self.transfers += 1
+                    break
+        return moved

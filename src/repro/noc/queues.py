@@ -1,0 +1,74 @@
+"""Bounded FIFO queues with backpressure.
+
+Every buffer in the modelled memory path (SM output queues, the
+interconnect→L2 queues, the L2→DRAM queues) is a :class:`BoundedQueue`.
+A full queue refuses pushes, which is how backpressure propagates from the
+memory controller all the way back to the SMs (Figure 7a).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with a hard capacity and occupancy statistics."""
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.pushes = 0
+        self.rejects = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterable[T]:
+        return iter(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self._items)
+
+    def try_push(self, item: T) -> bool:
+        if self.full:
+            self.rejects += 1
+            return False
+        self._items.append(item)
+        self.pushes += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+        return True
+
+    def push(self, item: T) -> None:
+        if not self.try_push(item):
+            raise OverflowError(f"queue {self.name or id(self)} is full")
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def pop(self) -> T:
+        if not self._items:
+            raise IndexError("pop from empty queue")
+        return self._items.popleft()
+
+    def clear(self) -> None:
+        self._items.clear()

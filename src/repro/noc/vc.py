@@ -1,0 +1,125 @@
+"""Virtual-channel buffer sets (Section V-A).
+
+A :class:`VCBuffer` is the unit of buffering at each hop of the memory
+path.  In the **VC1** baseline it is a single shared FIFO; in the **VC2**
+proposal MEM and PIM requests get separate queues of half the capacity each
+(the paper keeps *total* queue size equal when comparing the two), and the
+consumer alternates between them round-robin, skipping a VC whose head is
+blocked — this is what prevents PIM bursts from denying service to MEM
+requests before the memory controller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.noc.queues import BoundedQueue
+from repro.request import Mode, Request
+
+
+class VCBuffer:
+    """One or two virtual-channel FIFOs with round-robin service."""
+
+    def __init__(self, total_capacity: int, num_vcs: int, name: str = "") -> None:
+        if num_vcs not in (1, 2):
+            raise ValueError("num_vcs must be 1 or 2")
+        if total_capacity < num_vcs:
+            raise ValueError("capacity too small for the VC split")
+        self.num_vcs = num_vcs
+        self.name = name
+        if num_vcs == 1:
+            self._queues = [BoundedQueue(total_capacity, name=f"{name}/shared")]
+        else:
+            half = total_capacity // 2
+            self._queues = [
+                BoundedQueue(half, name=f"{name}/mem"),
+                BoundedQueue(total_capacity - half, name=f"{name}/pim"),
+            ]
+        self._rotation = 0  # index of the VC to serve next (VC2 only)
+
+    # -- routing ---------------------------------------------------------
+
+    def _vc_index(self, request: Request) -> int:
+        if self.num_vcs == 1:
+            return 0
+        return 1 if request.is_pim else 0
+
+    def queue_for(self, request: Request) -> BoundedQueue:
+        return self._queues[self._vc_index(request)]
+
+    def queue(self, mode: Mode) -> BoundedQueue:
+        """The queue serving the given mode (both modes share VC0 in VC1)."""
+        if self.num_vcs == 1:
+            return self._queues[0]
+        return self._queues[1 if mode is Mode.PIM else 0]
+
+    # -- producer side ------------------------------------------------------
+
+    def can_push(self, request: Request) -> bool:
+        return not self.queue_for(request).full
+
+    def try_push(self, request: Request) -> bool:
+        return self.queue_for(request).try_push(request)
+
+    # -- consumer side ------------------------------------------------------
+
+    def peek_next(self) -> Optional[Request]:
+        """Head the round-robin arbiter would serve next (None if empty)."""
+        for offset in range(self.num_vcs):
+            queue = self._queues[(self._rotation + offset) % self.num_vcs]
+            head = queue.peek()
+            if head is not None:
+                return head
+        return None
+
+    def heads(self) -> List[Request]:
+        """Heads of all VCs in round-robin preference order.
+
+        Used by crossbar arbitration: the first entry is the head the
+        modified-iSlip arbiter prefers for this link (the VC *not* served
+        last, per the paper's Section V-A).
+        """
+        if self.num_vcs == 1:
+            queue = self._queues[0]._items
+            return [queue[0]] if queue else []
+        ordered = []
+        for offset in range(self.num_vcs):
+            head = self._queues[(self._rotation + offset) % self.num_vcs].peek()
+            if head is not None:
+                ordered.append(head)
+        return ordered
+
+    def pop_next(self) -> Optional[Request]:
+        """Round-robin pop; advances the rotation past the served VC."""
+        for offset in range(self.num_vcs):
+            index = (self._rotation + offset) % self.num_vcs
+            queue = self._queues[index]
+            if queue:
+                self._rotation = (index + 1) % self.num_vcs
+                return queue.pop()
+        return None
+
+    def pop_matching(self, request: Request) -> Request:
+        """Pop a specific head (after crossbar arbitration granted it)."""
+        queue = self.queue_for(request)
+        if queue.peek() is not request:
+            raise ValueError("request is not at the head of its VC")
+        self._rotation = (self._vc_index(request) + 1) % self.num_vcs
+        return queue.pop()
+
+    # -- stats -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def __bool__(self) -> bool:
+        if self._queues[0]._items:
+            return True
+        return self.num_vcs == 2 and bool(self._queues[1]._items)
+
+    @property
+    def total_rejects(self) -> int:
+        return sum(q.rejects for q in self._queues)
+
+    def occupancy(self, mode: Mode) -> int:
+        return len(self.queue(mode))

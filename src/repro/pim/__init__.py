@@ -1,0 +1,33 @@
+"""PIM substrate: ISA, functional units, lock-step executor."""
+
+from repro.pim.executor import PIMExecutor, PIMStats
+from repro.pim.fu import FunctionalUnit, RegisterFile
+from repro.pim.isa import PIM_ADD, PIM_LOAD, PIM_MAC, PIM_MUL, PIM_STORE, PIMOp, PIMOpKind
+from repro.pim.program import (
+    CompiledPIMKernel,
+    PIMProgram,
+    PIMProgramError,
+    RegisterHandle,
+    VectorHandle,
+    vector_add_program,
+)
+
+__all__ = [
+    "CompiledPIMKernel",
+    "FunctionalUnit",
+    "PIMExecutor",
+    "PIMOp",
+    "PIMOpKind",
+    "PIMProgram",
+    "PIMProgramError",
+    "PIMStats",
+    "PIM_ADD",
+    "PIM_LOAD",
+    "PIM_MAC",
+    "PIM_MUL",
+    "PIM_STORE",
+    "RegisterFile",
+    "RegisterHandle",
+    "VectorHandle",
+    "vector_add_program",
+]

@@ -1,0 +1,253 @@
+"""Imperative PIM program builder.
+
+The workload generators emit request streams; this module is the
+*programming* surface a PIM library would actually expose (in the spirit
+of the PyPIM framework the paper's related work cites): users write
+kernels imperatively against named vectors, the builder lays the vectors
+out in DRAM, allocates FU registers, enforces the block structure of
+Figure 3, and compiles to a :class:`~repro.gpu.kernel.KernelSpec` that
+runs on the simulator — functionally, when the system is built with
+``functional=True``.
+
+Example (vector add, the paper's Figure 3)::
+
+    program = PIMProgram("vadd")
+    a = program.vector("a")
+    b = program.vector("b")
+    c = program.vector("c")
+    r = program.load(a)          # RF <- a[i]
+    r = program.add(r, b)        # RF <- RF + b[i]
+    program.store(r, c)          # c[i] <- RF
+    spec = program.build(elements=512)
+
+The element loop is implicit: the recorded op sequence executes for every
+element, in RF-sized blocks per op (exactly the block structure the
+scheduler exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.gpu.kernel import KernelSpec, LaunchContext, Phase
+from repro.pim.isa import PIMOp, PIMOpKind
+from repro.workloads.synthetic import make_pim_request
+
+
+@dataclass(frozen=True)
+class VectorHandle:
+    """A named operand vector living in PIM-reachable DRAM."""
+
+    name: str
+    role: int  # operand index -> row/column placement
+
+
+@dataclass(frozen=True)
+class RegisterHandle:
+    """A value resident in the FU register file."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class _Step:
+    kind: PIMOpKind
+    dst: int  # register index
+    src: int  # register index
+    vector_role: Optional[int]  # DRAM operand, None for RF-only ops
+
+
+class PIMProgramError(ValueError):
+    """Raised for ill-formed PIM programs."""
+
+
+class PIMProgram:
+    """Builder for block-structured PIM kernels."""
+
+    def __init__(self, name: str = "pim-program") -> None:
+        self.name = name
+        self._vectors: Dict[str, VectorHandle] = {}
+        self._steps: List[_Step] = []
+        self._next_register = 0
+        self._built = False
+
+    # -- operand declaration ----------------------------------------------
+
+    def vector(self, name: str) -> VectorHandle:
+        """Declare (or fetch) a named operand vector."""
+        if name in self._vectors:
+            return self._vectors[name]
+        handle = VectorHandle(name=name, role=len(self._vectors))
+        self._vectors[name] = handle
+        return handle
+
+    def _fresh_register(self) -> RegisterHandle:
+        handle = RegisterHandle(self._next_register)
+        self._next_register += 1
+        return handle
+
+    def _check_register(self, register: RegisterHandle) -> None:
+        if not 0 <= register.index < self._next_register:
+            raise PIMProgramError(f"unknown register {register!r}")
+
+    def _check_vector(self, vector: VectorHandle) -> None:
+        if self._vectors.get(vector.name) is not vector:
+            raise PIMProgramError(f"vector {vector.name!r} not declared here")
+
+    # -- operations -----------------------------------------------------------
+
+    def load(self, vector: VectorHandle) -> RegisterHandle:
+        """RF <- vector[i]"""
+        self._check_vector(vector)
+        dst = self._fresh_register()
+        self._steps.append(_Step(PIMOpKind.LOAD, dst.index, dst.index, vector.role))
+        return dst
+
+    def store(self, register: RegisterHandle, vector: VectorHandle) -> None:
+        """vector[i] <- RF"""
+        self._check_register(register)
+        self._check_vector(vector)
+        self._steps.append(_Step(PIMOpKind.STORE, register.index, register.index, vector.role))
+
+    def _binary(self, kind: PIMOpKind, register: RegisterHandle, vector: VectorHandle) -> RegisterHandle:
+        self._check_register(register)
+        self._check_vector(vector)
+        self._steps.append(_Step(kind, register.index, register.index, vector.role))
+        return register
+
+    def add(self, register: RegisterHandle, vector: VectorHandle) -> RegisterHandle:
+        """RF <- RF + vector[i]"""
+        return self._binary(PIMOpKind.ADD, register, vector)
+
+    def sub(self, register: RegisterHandle, vector: VectorHandle) -> RegisterHandle:
+        return self._binary(PIMOpKind.SUB, register, vector)
+
+    def mul(self, register: RegisterHandle, vector: VectorHandle) -> RegisterHandle:
+        return self._binary(PIMOpKind.MUL, register, vector)
+
+    def mac(self, register: RegisterHandle, vector: VectorHandle) -> RegisterHandle:
+        """RF <- RF + RF * vector[i] (multiply-accumulate)"""
+        return self._binary(PIMOpKind.MAC, register, vector)
+
+    def maximum(self, register: RegisterHandle, vector: VectorHandle) -> RegisterHandle:
+        return self._binary(PIMOpKind.MAX, register, vector)
+
+    def exp(self, register: RegisterHandle) -> RegisterHandle:
+        """RF <- exp(RF) — register-only (softmax building block)."""
+        self._check_register(register)
+        self._steps.append(_Step(PIMOpKind.EXP, register.index, register.index, None))
+        return register
+
+    # -- compilation -----------------------------------------------------------
+
+    def validate(self, rf_entries_per_bank: int = 8) -> None:
+        """Check the program is well-formed for the target RF size."""
+        if not self._steps:
+            raise PIMProgramError("program has no operations")
+        if self._next_register > rf_entries_per_bank:
+            raise PIMProgramError(
+                f"program uses {self._next_register} registers; the FU has "
+                f"{rf_entries_per_bank} per bank"
+            )
+        stores = [s for s in self._steps if s.kind is PIMOpKind.STORE]
+        if not stores:
+            raise PIMProgramError("program never stores a result")
+        # Per Figure 3, every DRAM-touching op addresses a declared vector.
+        for step in self._steps:
+            if step.kind.accesses_dram and step.vector_role is None:
+                raise PIMProgramError(f"{step.kind} without a vector operand")
+
+    def build(self, elements: int, name: Optional[str] = None) -> "CompiledPIMKernel":
+        """Compile to a kernel spec executing the program per element."""
+        if elements < 1:
+            raise PIMProgramError("elements must be positive")
+        self.validate()
+        return CompiledPIMKernel(
+            name=name or self.name,
+            steps=tuple(self._steps),
+            num_operands=len(self._vectors),
+            elements_per_warp=elements,
+            registers_used=self._next_register,
+            vectors={v.name: v for v in self._vectors.values()},
+        )
+
+
+class CompiledPIMKernel(KernelSpec):
+    """A built PIM program, runnable as a kernel spec."""
+
+    kind = "pim"
+
+    def __init__(
+        self,
+        name: str,
+        steps: Tuple[_Step, ...],
+        num_operands: int,
+        elements_per_warp: int,
+        registers_used: int,
+        vectors: Dict[str, VectorHandle],
+    ) -> None:
+        self.name = name
+        self.steps = steps
+        self.num_operands = max(1, num_operands)
+        self.elements_per_warp = elements_per_warp
+        self.registers_used = registers_used
+        self.vectors = vectors
+
+    def warps_per_sm(self, ctx: LaunchContext) -> int:
+        return max(1, min(ctx.warps_per_sm, ctx.num_channels // max(1, ctx.num_sms)))
+
+    def issue_width(self, ctx: LaunchContext) -> int:
+        return 2
+
+    def operand_location(self, ctx: LaunchContext, role: int, element: int) -> Tuple[int, int]:
+        """Same-row layout (see PIMStreamKernel): operands share each row."""
+        columns = ctx.mapper.num_columns
+        cols_per_operand = max(1, columns // self.num_operands)
+        row = element // cols_per_operand
+        column = role * cols_per_operand + element % cols_per_operand
+        return row, min(column, columns - 1)
+
+    def vector_location(self, ctx: LaunchContext, vector: VectorHandle, element: int) -> Tuple[int, int]:
+        return self.operand_location(ctx, vector.role, element)
+
+    def warp_program(self, ctx: LaunchContext, sm_slot: int, warp: int) -> Iterator[Phase]:
+        if self.registers_used > ctx.rf_entries_per_bank:
+            raise PIMProgramError(
+                f"{self.name} needs {self.registers_used} registers; the FU "
+                f"has {ctx.rf_entries_per_bank}"
+            )
+        channel = (sm_slot * self.warps_per_sm(ctx) + warp) % ctx.num_channels
+        # Each element in a block needs its own copy of the program's
+        # registers (Figure 3: n loads fill n RF entries), so the block
+        # size is the RF capacity divided by the program's register count.
+        block = max(1, ctx.rf_entries_per_bank // self.registers_used)
+        total = ctx.scaled(self.elements_per_warp)
+
+        element = 0
+        while element < total:
+            group = min(block, total - element)
+            for step in self.steps:
+                requests = []
+                for i in range(group):
+                    if step.vector_role is not None:
+                        row, column = self.operand_location(
+                            ctx, step.vector_role, element + i
+                        )
+                    else:
+                        row, column = self.operand_location(ctx, 0, element + i)
+                    base = i * self.registers_used
+                    op = PIMOp(step.kind, dst=base + step.dst, src=base + step.src)
+                    requests.append(make_pim_request(ctx, channel, row, column, op))
+                yield Phase(compute_cycles=0, requests=requests, wait_for_replies=False)
+            element += group
+
+
+def vector_add_program(name: str = "vadd") -> PIMProgram:
+    """The paper's Figure 3 kernel, prebuilt."""
+    program = PIMProgram(name)
+    a, b, c = program.vector("a"), program.vector("b"), program.vector("c")
+    register = program.load(a)
+    register = program.add(register, b)
+    program.store(register, c)
+    return program

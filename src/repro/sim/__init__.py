@@ -1,0 +1,25 @@
+"""Full-system simulation: wiring, cycle engine, results, exporters."""
+
+from repro.sim.export import (
+    kernel_to_dict,
+    load_result_json,
+    result_to_dict,
+    save_kernels_csv,
+    save_result_json,
+    save_rows_csv,
+)
+from repro.sim.results import KernelResult, SimResult
+from repro.sim.system import GPUSystem, KernelRun
+
+__all__ = [
+    "GPUSystem",
+    "KernelResult",
+    "KernelRun",
+    "SimResult",
+    "kernel_to_dict",
+    "load_result_json",
+    "result_to_dict",
+    "save_kernels_csv",
+    "save_result_json",
+    "save_rows_csv",
+]

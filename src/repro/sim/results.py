@@ -1,0 +1,86 @@
+"""Simulation result records.
+
+:class:`SimResult` aggregates everything the metrics and experiment layers
+need: per-kernel execution times, injection/arrival counts, DRAM service
+statistics, and memory-controller switch bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.request import Mode
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel in a simulation."""
+
+    kernel_id: int
+    name: str
+    is_pim: bool
+    first_duration: Optional[int] = None  # cycles, first completed run
+    completions: int = 0
+    requests_injected: int = 0  # requests entering the interconnect
+    mc_arrivals: int = 0  # requests arriving at memory controllers
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    dram_row_hits: int = 0
+    dram_row_misses: int = 0
+    dram_row_conflicts: int = 0
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.dram_row_hits + self.dram_row_misses + self.dram_row_conflicts
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        total = self.dram_accesses
+        return self.dram_row_hits / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
+
+    def injection_rate(self, cycles: int) -> float:
+        """Interconnect request arrival rate (requests per cycle), Fig 4a."""
+        return self.requests_injected / cycles if cycles else 0.0
+
+    def mc_arrival_rate(self, cycles: int) -> float:
+        """DRAM request arrival rate (requests per cycle), Fig 4b / Fig 6."""
+        return self.mc_arrivals / cycles if cycles else 0.0
+
+
+@dataclass
+class SimResult:
+    """Full outcome of one simulation run."""
+
+    cycles: int
+    kernels: Dict[int, KernelResult] = field(default_factory=dict)
+    # DRAM utilization, aggregated over channels.
+    bank_level_parallelism: float = 0.0
+    row_buffer_hit_rate: float = 0.0
+    # Memory-controller aggregates (summed over channels).
+    mode_switches: int = 0
+    switches_to_pim: int = 0
+    additional_conflicts_per_switch: float = 0.0
+    mem_drain_latency_per_switch: float = 0.0
+    mode_cycles: Dict[Mode, int] = field(default_factory=dict)
+    noc_rejects: int = 0
+
+    def kernel(self, kernel_id: int) -> KernelResult:
+        return self.kernels[kernel_id]
+
+    def by_name(self, name: str) -> KernelResult:
+        for result in self.kernels.values():
+            if result.name == name:
+                return result
+        raise KeyError(f"no kernel named {name!r}")
+
+    @property
+    def all_completed(self) -> bool:
+        return all(k.first_duration is not None for k in self.kernels.values())
+
+    def durations(self) -> List[int]:
+        return [k.first_duration for k in self.kernels.values() if k.first_duration is not None]

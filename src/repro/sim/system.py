@@ -1,0 +1,506 @@
+"""End-to-end system model (Figure 1 / Figure 7).
+
+``GPUSystem`` wires the full memory path::
+
+    SMs -> per-SM output buffers -> iSlip crossbar
+        -> interconnect->L2 queues (per channel)
+        -> L2 slice (MEM) / bypass (PIM)
+        -> L2->DRAM queues (per channel)
+        -> memory controller (MEM-Q / PIM-Q + policy)
+        -> DRAM banks / PIM executor
+
+Every buffer is a :class:`~repro.noc.vc.VCBuffer`: with
+``config.num_virtual_channels == 1`` the system is the paper's **VC1**
+baseline (PIM bursts head-of-line-block MEM requests); with ``2`` it is the
+**VC2** proposal (separate MEM/PIM queues at every hop, round-robin
+service, half capacity each).
+
+The engine is cycle-driven, processing stages downstream-first so a request
+moves at most one hop per cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.l1 import L1Cache
+from repro.cache.l2 import L2Slice, LookupResult
+from repro.config import SystemConfig
+from repro.core.controller import MemoryController
+from repro.core.policies import PolicySpec
+from repro.dram.channel import Channel
+from repro.dram.storage import DataStore
+from repro.gpu.kernel import KernelInstance, KernelSpec, LaunchContext
+from repro.gpu.sm import SM
+from repro.noc.islip import ISlipArbiter
+from repro.noc.mesh import MeshFabric
+from repro.noc.vc import VCBuffer
+from repro.pim.executor import PIMExecutor
+from repro.request import Mode, Request
+from repro.sim.results import KernelResult, SimResult
+
+#: Words (32 B DRAM accesses) per modelled L2 entry.  The slice caches
+#: individual DRAM words (see repro.cache.l2 docstring).
+WORD_BYTES = 32
+
+
+class KernelRun:
+    """A kernel bound to a set of SMs, optionally re-launched in a loop."""
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        kernel_id: int,
+        sm_indices: Sequence[int],
+        loop: bool,
+    ) -> None:
+        self.spec = spec
+        self.kernel_id = kernel_id
+        self.sm_indices = list(sm_indices)
+        self.loop = loop
+        self.instance: Optional[KernelInstance] = None
+        self.first_duration: Optional[int] = None
+        self.completions = 0
+        self.running = False
+
+
+class GPUSystem:
+    """The complete simulated GPU + PIM-enabled memory system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: PolicySpec,
+        seed: int = 0,
+        functional: bool = False,
+        scale: float = 1.0,
+    ) -> None:
+        self.config = config
+        self.policy_spec = policy
+        self.seed = seed
+        self.scale = scale
+        self.mapper = config.mapper
+        self.store = DataStore() if functional else None
+
+        timings = config.timings
+        vcs = config.num_virtual_channels
+        self.channels: List[Channel] = []
+        self.pim_execs: List[PIMExecutor] = []
+        self.controllers: List[MemoryController] = []
+        self.l2_slices: List[L2Slice] = []
+        self.input_buffers: List[VCBuffer] = []  # interconnect -> L2
+        self.dram_queues: List[VCBuffer] = []  # L2 -> DRAM (MC ingress)
+        self.writebacks: List[deque] = []
+
+        slice_words = max(
+            config.l2_assoc, config.l2_size_bytes // WORD_BYTES // config.num_channels
+        )
+        for ch in range(config.num_channels):
+            channel = Channel(ch, config.banks_per_channel, timings)
+            pim_exec = PIMExecutor(
+                channel,
+                fus_per_channel=config.pim_fus_per_channel,
+                rf_entries_per_bank=config.rf_entries_per_bank,
+                store=self.store,
+                functional=functional,
+            )
+            controller = MemoryController(
+                channel,
+                pim_exec,
+                policy.create(),
+                mem_queue_size=config.mem_queue_size,
+                pim_queue_size=config.pim_queue_size,
+                refresh_enabled=config.refresh_enabled,
+            )
+            self.channels.append(channel)
+            self.pim_execs.append(pim_exec)
+            self.controllers.append(controller)
+            self.l2_slices.append(
+                L2Slice(
+                    slice_bytes=slice_words,
+                    assoc=config.l2_assoc,
+                    line_bytes=1,
+                    mshr_capacity=config.l2_mshrs_per_slice,
+                    channel_index=ch,
+                    mapper=self.mapper,
+                )
+            )
+            self.input_buffers.append(
+                VCBuffer(config.noc_queue_size, vcs, name=f"noc->l2[{ch}]")
+            )
+            self.dram_queues.append(
+                VCBuffer(config.noc_queue_size, vcs, name=f"l2->dram[{ch}]")
+            )
+            self.writebacks.append(deque())
+
+        self.sm_buffers = [
+            VCBuffer(config.sm_output_queue_size, vcs, name=f"sm[{i}]")
+            for i in range(config.num_sms)
+        ]
+        self.sms = []
+        for i in range(config.num_sms):
+            l1 = None
+            if config.l1_enabled:
+                l1 = L1Cache(
+                    capacity_words=max(config.l1_assoc, config.l1_size_bytes // WORD_BYTES),
+                    assoc=config.l1_assoc,
+                )
+            self.sms.append(
+                SM(
+                    i,
+                    self.sm_buffers[i],
+                    max_outstanding=config.max_outstanding_per_sm,
+                    l1=l1,
+                    l1_latency=config.l1_latency,
+                )
+            )
+        if config.noc_topology == "mesh":
+            self.crossbar = None
+            self.mesh = MeshFabric(
+                num_sms=config.num_sms,
+                num_channels=config.num_channels,
+                num_vcs=vcs,
+                router_buffer=config.mesh_router_buffer,
+            )
+        else:
+            self.crossbar = ISlipArbiter(config.num_sms, config.num_channels)
+            self.mesh = None
+
+        self.cycle = 0
+        self.runs: List[KernelRun] = []
+        self._next_kernel_id = 0
+        self._free_sms = list(range(config.num_sms))
+        self._reply_heap: List[Tuple[int, int, Request]] = []
+        self._reply_seq = itertools.count()
+        self.replies_sent = 0
+        self._kernel_inflight: Dict[int, int] = {}
+        self._injected: Dict[int, int] = {}
+        self.timeline = None  # optional metrics.timeline.TimelineSampler
+
+    # -- kernel management -------------------------------------------------
+
+    def add_kernel(self, spec: KernelSpec, num_sms: int, loop: bool = False) -> KernelRun:
+        """Assign a kernel to ``num_sms`` SM slots (launched at run start)."""
+        if num_sms < 1:
+            raise ValueError("a kernel needs at least one SM")
+        if len(self._free_sms) < num_sms:
+            raise ValueError(
+                f"not enough free SMs: requested {num_sms}, available {len(self._free_sms)}"
+            )
+        indices = [self._free_sms.pop(0) for _ in range(num_sms)]
+        run = KernelRun(spec, self._next_kernel_id, indices, loop)
+        self._next_kernel_id += 1
+        self.runs.append(run)
+        self._kernel_inflight[run.kernel_id] = 0
+        self._injected[run.kernel_id] = 0
+        return run
+
+    def _launch(self, run: KernelRun) -> None:
+        ctx = LaunchContext(
+            mapper=self.mapper,
+            num_channels=self.config.num_channels,
+            banks_per_channel=self.config.banks_per_channel,
+            num_sms=len(run.sm_indices),
+            warps_per_sm=self.config.warps_per_sm,
+            rng=np.random.default_rng(self.seed),
+            scale=self.scale,
+            rf_entries_per_bank=self.config.rf_entries_per_bank,
+            kernel_id=run.kernel_id,
+        )
+        run.instance = KernelInstance(run.spec, ctx, run.kernel_id, seed=self.seed)
+        for slot, sm_index in enumerate(run.sm_indices):
+            self.sms[sm_index].attach(run.instance, slot, self.cycle)
+        run.running = True
+
+    # -- per-cycle stages -----------------------------------------------------
+
+    def _stage_completions(self) -> None:
+        cycle = self.cycle
+        for ch, controller in enumerate(self.controllers):
+            for request in controller.pop_completed(cycle):
+                self._handle_completion(ch, request, cycle)
+
+    def _handle_completion(self, ch: int, request: Request, cycle: int) -> None:
+        if request.is_writeback:
+            return
+        if request.is_pim or not request.is_load:
+            self._finish_request(request)
+            return
+        if request.is_l2_fill:
+            waiting, writeback = self.l2_slices[ch].install(request)
+            if writeback is not None:
+                self.writebacks[ch].append(writeback)
+            for waiter in waiting:
+                self._schedule_reply(waiter, cycle + self.config.reply_latency)
+        else:  # pragma: no cover - every DRAM load is a fill in this model
+            self._schedule_reply(request, cycle + self.config.reply_latency)
+
+    def _schedule_reply(self, request: Request, when: int) -> None:
+        self.replies_sent += 1
+        heapq.heappush(self._reply_heap, (when, next(self._reply_seq), request))
+
+    def _stage_replies(self) -> None:
+        cycle = self.cycle
+        heap = self._reply_heap
+        while heap and heap[0][0] <= cycle:
+            _, _, request = heapq.heappop(heap)
+            self.sms[request.source].receive_reply(request, cycle)
+            self._finish_request(request)
+
+    def _finish_request(self, request: Request) -> None:
+        self._kernel_inflight[request.kernel_id] -= 1
+
+    def _stage_controllers(self) -> None:
+        cycle = self.cycle
+        for controller in self.controllers:
+            controller.tick(cycle)
+
+    def _stage_mc_ingress(self) -> None:
+        """Move one request per channel from the L2->DRAM queue into the MC."""
+        cycle = self.cycle
+        for ch, queue in enumerate(self.dram_queues):
+            if not queue:
+                continue
+            controller = self.controllers[ch]
+            for head in queue.heads():
+                if controller.can_accept(head):
+                    queue.pop_matching(head)
+                    controller.enqueue(head, cycle)
+                    break
+
+    def _stage_l2(self) -> None:
+        """Per channel, sink one request from the interconnect->L2 queue."""
+        cycle = self.cycle
+        for ch, buffer in enumerate(self.input_buffers):
+            if not buffer:
+                continue
+            slice_ = self.l2_slices[ch]
+            dram_queue = self.dram_queues[ch]
+            for head in buffer.heads():
+                if head.is_pim:
+                    if dram_queue.can_push(head):
+                        buffer.pop_matching(head)
+                        dram_queue.try_push(head)
+                        break
+                    continue  # PIM VC blocked; try the other VC's head
+                # MEM request: a miss/forward will need L2->DRAM space.
+                if not dram_queue.queue(Mode.MEM).full:
+                    outcome = slice_.lookup(head)
+                    if outcome == LookupResult.BLOCKED:
+                        continue  # MSHRs full: leave at head, try other VC
+                    buffer.pop_matching(head)
+                    if outcome == LookupResult.HIT:
+                        if head.is_load:
+                            self._schedule_reply(head, cycle + self.config.l2_latency)
+                        else:
+                            self._finish_request(head)
+                    elif outcome == LookupResult.MISS_SECONDARY:
+                        pass  # merged; replied when the fill returns
+                    else:  # MISS_PRIMARY or STORE_FORWARD
+                        dram_queue.try_push(head)
+                    break
+
+    def _stage_writebacks(self) -> None:
+        for ch, pending in enumerate(self.writebacks):
+            if not pending:
+                continue
+            queue = self.dram_queues[ch].queue(Mode.MEM)
+            if not queue.full:
+                queue.try_push(pending.popleft())
+
+    def _stage_crossbar(self) -> None:
+        if self.mesh is not None:
+            self.mesh.step(self.sm_buffers, self.input_buffers)
+        else:
+            self.crossbar.step(self.sm_buffers, self.input_buffers)
+
+    def _stage_sms(self) -> None:
+        cycle = self.cycle
+        for sm in self.sms:
+            if sm.idle:
+                continue
+            before = sm.requests_injected
+            issued = sm.step(cycle)
+            if issued:
+                sm.requests_injected = before + issued
+                kernel_id = sm.instance.kernel_id
+                self._injected[kernel_id] += issued
+                self._kernel_inflight[kernel_id] += issued
+
+    def _stage_kernel_completion(self) -> None:
+        cycle = self.cycle
+        for run in self.runs:
+            if not run.running:
+                continue
+            sms_done = all(self.sms[i].is_done(cycle) for i in run.sm_indices)
+            if not sms_done or self._kernel_inflight[run.kernel_id] != 0:
+                continue
+            run.instance.cycle_finished = cycle
+            duration = run.instance.duration
+            if run.first_duration is None:
+                run.first_duration = duration
+            run.completions += 1
+            run.running = False
+            if run.loop:
+                self._launch(run)
+
+    # -- main loop -----------------------------------------------------------
+
+    def attach_timeline(self, interval: int = 100) -> "TimelineSampler":
+        """Record system state every ``interval`` cycles (see
+        :mod:`repro.metrics.timeline`)."""
+        from repro.metrics.timeline import TimelineSampler
+
+        self.timeline = TimelineSampler(interval=interval)
+        return self.timeline
+
+    def step(self) -> None:
+        """Advance the whole system by one cycle."""
+        if self.timeline is not None and self.timeline.due(self.cycle):
+            self.timeline.sample(self, self.cycle)
+        self._stage_completions()
+        self._stage_replies()
+        self._stage_controllers()
+        self._stage_mc_ingress()
+        self._stage_l2()
+        self._stage_writebacks()
+        self._stage_crossbar()
+        self._stage_sms()
+        self._stage_kernel_completion()
+        self.cycle += 1
+
+    def run(
+        self,
+        max_cycles: int = 2_000_000,
+        until_all_complete_once: bool = True,
+    ) -> SimResult:
+        """Launch all kernels and simulate.
+
+        With ``until_all_complete_once`` (the paper's methodology) the run
+        stops once every kernel has completed at least one launch; looping
+        kernels are re-launched until then.
+        """
+        if not self.runs:
+            raise ValueError("no kernels added")
+        for run in self.runs:
+            self._launch(run)
+        while self.cycle < max_cycles:
+            self.step()
+            if until_all_complete_once and all(r.first_duration is not None for r in self.runs):
+                break
+        for controller in self.controllers:
+            controller.finalize(self.cycle)
+        return self._collect_results()
+
+    # -- energy accounting ---------------------------------------------------
+
+    def energy_report(self, params=None) -> "EnergyBreakdown":
+        """Event-energy breakdown of the whole run so far (nJ).
+
+        See :mod:`repro.dram.power` for the model and its constants.
+        """
+        from repro.dram.power import EnergyAccountant, EnergyParams
+
+        accountant = EnergyAccountant(params or EnergyParams())
+        activates = sum(
+            c.stats.mem_misses + c.stats.mem_conflicts for c in self.channels
+        )
+        reads = sum(c.stats.mem_reads for c in self.channels)
+        writes = sum(c.stats.mem_writes for c in self.channels)
+        pim_ops = sum(e.stats.dram_ops for e in self.pim_execs)
+        pim_row_switches = sum(e.stats.row_switches for e in self.pim_execs)
+        refreshes = sum(c.refresh.stats.refreshes_issued for c in self.controllers)
+        if self.mesh is not None:
+            # Multi-hop network: every hop pays link/router energy.
+            noc_transfers = self.mesh.hops + self.mesh.transfers + self.replies_sent
+        else:
+            noc_transfers = self.crossbar.transfers + self.replies_sent
+        return accountant.account(
+            cycles=self.cycle,
+            num_channels=self.config.num_channels,
+            activates=activates,
+            reads=reads,
+            writes=writes,
+            pim_ops=pim_ops,
+            pim_banks=self.config.banks_per_channel,
+            pim_row_switches=pim_row_switches,
+            refreshes=refreshes,
+            noc_transfers=noc_transfers,
+        )
+
+    # -- result collection -----------------------------------------------
+
+    def _collect_results(self) -> SimResult:
+        result = SimResult(cycles=self.cycle)
+        for run in self.runs:
+            kid = run.kernel_id
+            kernel_result = KernelResult(
+                kernel_id=kid,
+                name=run.spec.name,
+                is_pim=run.spec.is_pim,
+                first_duration=run.first_duration,
+                completions=run.completions,
+                requests_injected=self._injected[kid],
+            )
+            for controller in self.controllers:
+                kernel_result.mc_arrivals += controller.stats.kernel_mem_arrivals.get(kid, 0)
+                kernel_result.mc_arrivals += controller.stats.kernel_pim_arrivals.get(kid, 0)
+            for channel in self.channels:
+                outcomes = channel.stats.kernel_outcomes.get(kid)
+                if outcomes:
+                    kernel_result.dram_row_hits += outcomes[0]
+                    kernel_result.dram_row_misses += outcomes[1]
+                    kernel_result.dram_row_conflicts += outcomes[2]
+            for slice_ in self.l2_slices:
+                kernel_result.l2_accesses += slice_.stats.kernel_accesses.get(kid, 0)
+                kernel_result.l2_hits += slice_.stats.kernel_hits.get(kid, 0)
+            if run.spec.is_pim:
+                # Channel stats only track MEM row outcomes; PIM locality
+                # comes from the executors.  With several concurrent PIM
+                # kernels this attributes the aggregate to each, which is
+                # exact for the single-PIM-kernel scenarios we model.
+                ops = sum(e.stats.ops_executed for e in self.pim_execs)
+                switches = sum(e.stats.row_switches for e in self.pim_execs)
+                kernel_result.dram_row_hits = ops - switches
+                kernel_result.dram_row_conflicts = switches
+            result.kernels[kid] = kernel_result
+
+        blps = [
+            channel.bank_level_parallelism(executor.busy_intervals)
+            for channel, executor in zip(self.channels, self.pim_execs)
+        ]
+        active = [c for c in blps if c > 0]
+        result.bank_level_parallelism = sum(active) / len(active) if active else 0.0
+        hits = sum(c.stats.mem_hits for c in self.channels)
+        total = sum(c.stats.mem_accesses for c in self.channels)
+        result.row_buffer_hit_rate = hits / total if total else 0.0
+
+        drain_latencies: List[int] = []
+        total_switches = 0
+        switches_to_pim = 0
+        extra_conflicts = 0
+        mode_cycles = {Mode.MEM: 0, Mode.PIM: 0}
+        for controller in self.controllers:
+            stats = controller.stats
+            total_switches += stats.switches
+            switches_to_pim += stats.switches_to_pim
+            extra_conflicts += stats.additional_conflicts
+            drain_latencies.extend(stats.mem_drain_latencies)
+            for mode, cycles in stats.mode_cycles.items():
+                mode_cycles[mode] += cycles
+        result.mode_switches = total_switches
+        result.switches_to_pim = switches_to_pim
+        result.additional_conflicts_per_switch = (
+            extra_conflicts / switches_to_pim if switches_to_pim else 0.0
+        )
+        result.mem_drain_latency_per_switch = (
+            sum(drain_latencies) / len(drain_latencies) if drain_latencies else 0.0
+        )
+        result.mode_cycles = mode_cycles
+        result.noc_rejects = sum(b.total_rejects for b in self.input_buffers)
+        return result

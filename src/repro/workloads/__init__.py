@@ -1,0 +1,43 @@
+"""Workload models: Rodinia GPU profiles, PIM suite, LLM scenario."""
+
+from repro.workloads.llm import LLMShape, llm_kernels, mha_pim_kernel, qkv_gemm_kernel
+from repro.workloads.pim_suite import PIM_SUITE, get_pim_kernel, pim_ids
+from repro.workloads.rodinia import (
+    COMPUTE_INTENSIVE,
+    FIGURE5_CORUNNERS,
+    MEMORY_INTENSIVE,
+    RODINIA,
+    get_gpu_kernel,
+    rodinia_ids,
+)
+from repro.workloads.synthetic import (
+    GPUKernelProfile,
+    PIMGemvKernel,
+    PIMStreamKernel,
+    make_mem_request,
+    make_pim_request,
+)
+from repro.workloads.traces import TraceKernel, save_trace
+
+__all__ = [
+    "COMPUTE_INTENSIVE",
+    "FIGURE5_CORUNNERS",
+    "GPUKernelProfile",
+    "LLMShape",
+    "MEMORY_INTENSIVE",
+    "PIMGemvKernel",
+    "PIMStreamKernel",
+    "PIM_SUITE",
+    "RODINIA",
+    "TraceKernel",
+    "get_gpu_kernel",
+    "get_pim_kernel",
+    "llm_kernels",
+    "make_mem_request",
+    "make_pim_request",
+    "mha_pim_kernel",
+    "pim_ids",
+    "qkv_gemm_kernel",
+    "rodinia_ids",
+    "save_trace",
+]

@@ -1,0 +1,78 @@
+"""The PIM benchmark suite (Table III) as block-structured PIM kernels.
+
+Each benchmark is expressed with the fine-grained PIM ISA of
+:mod:`repro.pim.isa`, following the block structure of Figure 3 — RF-sized
+blocks of operations per operand row, executed sequentially.  The op
+patterns mirror what each benchmark computes per element:
+
+* **P1 Stream Add** — ``c = a + b``: load a, add b, store c.
+* **P2 Stream Copy** — ``c = a``: load a, store c.
+* **P3 Stream Daxpy** — ``c += s*a``: load c, mac a, store c.
+* **P4 Stream Scale** — ``c = s*b``: load b, mul, store c.
+* **P5/P6 BN Fwd/Bwd** — batch-norm style chains over more operand rows.
+* **P7 Fully connected** — GEMV: long MAC streams, rare stores.
+* **P8 KMeans** — distance accumulation: load, sub, mul, mac.
+* **P9 GRIM** — bit-vector filter: load, add (popcount proxy), store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.pim.isa import PIMOpKind
+from repro.workloads.synthetic import KernelSpec, PIMGemvKernel, PIMStreamKernel
+
+L, S, A, SU, M, MC = (
+    PIMOpKind.LOAD,
+    PIMOpKind.STORE,
+    PIMOpKind.ADD,
+    PIMOpKind.SUB,
+    PIMOpKind.MUL,
+    PIMOpKind.MAC,
+)
+
+#: Benchmarks in Table III order, keyed "P1".."P9".
+PIM_SUITE: Dict[str, KernelSpec] = {
+    "P1": PIMStreamKernel(
+        name="Stream Add", ops=((L, 0), (A, 1), (S, 2)), elements_per_warp=2048
+    ),
+    "P2": PIMStreamKernel(
+        name="Stream Copy", ops=((L, 0), (S, 1)), elements_per_warp=2048
+    ),
+    "P3": PIMStreamKernel(
+        name="Stream Daxpy", ops=((L, 0), (MC, 1), (S, 0)), elements_per_warp=2048
+    ),
+    "P4": PIMStreamKernel(
+        name="Stream Scale", ops=((L, 0), (M, 0), (S, 1)), elements_per_warp=2048
+    ),
+    "P5": PIMStreamKernel(
+        name="BN Fwd",
+        ops=((L, 0), (SU, 1), (M, 2), (A, 3), (S, 4)),
+        elements_per_warp=1536,
+    ),
+    "P6": PIMStreamKernel(
+        name="BN Bwd",
+        ops=((L, 0), (L, 1), (M, 2), (MC, 3), (SU, 4), (S, 5)),
+        elements_per_warp=1280,
+    ),
+    "P7": PIMGemvKernel(
+        name="Fully connected", outputs_per_warp=96, macs_per_output=16
+    ),
+    "P8": PIMStreamKernel(
+        name="KMeans", ops=((L, 0), (SU, 1), (M, 2), (MC, 3)), elements_per_warp=1536
+    ),
+    "P9": PIMStreamKernel(
+        name="GRIM", ops=((L, 0), (A, 1), (S, 2)), elements_per_warp=2048
+    ),
+}
+
+
+def pim_ids() -> List[str]:
+    return list(PIM_SUITE)
+
+
+def get_pim_kernel(pid: str) -> KernelSpec:
+    try:
+        return PIM_SUITE[pid]
+    except KeyError:
+        raise KeyError(f"unknown PIM id {pid!r}; known: {list(PIM_SUITE)}") from None

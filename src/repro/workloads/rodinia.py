@@ -1,0 +1,132 @@
+"""The Rodinia benchmark suite as synthetic GPU kernel profiles (Table II).
+
+We do not execute CUDA; each benchmark is modelled by a
+:class:`~repro.workloads.synthetic.GPUKernelProfile` whose parameters are
+chosen to reproduce the *relative* memory behaviour the paper
+characterizes (Figure 4 and the per-kernel discussion in Section VII-B):
+
+* **G4 cfd** — highest interconnect request rate.
+* **G6 gaussian** — highest bank-level parallelism; poor locality
+  (RBHR ≈ 32 %, Section VII-B).
+* **G10 huffman** — compute intensive (used as the insensitive extreme in
+  Figure 13).
+* **G11 kmeans** — high MEM request arrival rate at the controller.
+* **G15 nn** — highest DRAM request rate (little L2 reuse).
+* **G17 pathfinder** — highest row-buffer hit rate.
+* **G19 srad_v2** — heavy interconnect traffic that the L2 mostly filters.
+
+The remaining kernels fill out a realistic spread of intensities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.synthetic import GPUKernelProfile
+
+
+def _profile(name: str, **kwargs) -> GPUKernelProfile:
+    return GPUKernelProfile(name=name, **kwargs)
+
+
+#: Profiles in Table II order, keyed "G1".."G20".
+RODINIA: Dict[str, GPUKernelProfile] = {
+    "G1": _profile(
+        "b+tree", compute_per_phase=60, accesses_per_phase=2, row_locality=0.30,
+        l2_reuse=0.45, store_fraction=0.05, footprint_rows=96, bank_spread=16,
+    ),
+    "G2": _profile(
+        "backprop", compute_per_phase=35, accesses_per_phase=4, row_locality=0.60,
+        l2_reuse=0.35, store_fraction=0.25, footprint_rows=48, bank_spread=12,
+    ),
+    "G3": _profile(
+        "bfs", compute_per_phase=25, accesses_per_phase=2, row_locality=0.15,
+        l2_reuse=0.30, store_fraction=0.10, footprint_rows=128, bank_spread=16,
+    ),
+    "G4": _profile(
+        "cfd", compute_per_phase=4, accesses_per_phase=8, row_locality=0.55,
+        l2_reuse=0.55, store_fraction=0.20, footprint_rows=64, bank_spread=16,
+    ),
+    "G5": _profile(
+        "dwt2d", compute_per_phase=45, accesses_per_phase=4, row_locality=0.70,
+        l2_reuse=0.40, store_fraction=0.30, footprint_rows=40, bank_spread=10,
+    ),
+    "G6": _profile(
+        "gaussian", compute_per_phase=8, accesses_per_phase=8, row_locality=0.12,
+        l2_reuse=0.15, store_fraction=0.25, footprint_rows=128, bank_spread=16,
+    ),
+    "G7": _profile(
+        "heartwall", compute_per_phase=90, accesses_per_phase=3, row_locality=0.55,
+        l2_reuse=0.50, store_fraction=0.10, footprint_rows=48, bank_spread=8,
+    ),
+    "G8": _profile(
+        "hotspot", compute_per_phase=50, accesses_per_phase=4, row_locality=0.65,
+        l2_reuse=0.55, store_fraction=0.20, footprint_rows=32, bank_spread=12,
+    ),
+    "G9": _profile(
+        "hotspot3D", compute_per_phase=30, accesses_per_phase=4, row_locality=0.55,
+        l2_reuse=0.45, store_fraction=0.20, footprint_rows=48, bank_spread=12,
+    ),
+    "G10": _profile(
+        "huffman", compute_per_phase=260, accesses_per_phase=2, row_locality=0.40,
+        l2_reuse=0.60, store_fraction=0.10, footprint_rows=24, bank_spread=8,
+        accesses_per_warp=192,
+    ),
+    "G11": _profile(
+        "kmeans", compute_per_phase=5, accesses_per_phase=8, row_locality=0.55,
+        l2_reuse=0.20, store_fraction=0.05, footprint_rows=96, bank_spread=16,
+    ),
+    "G12": _profile(
+        "lavaMD", compute_per_phase=110, accesses_per_phase=4, row_locality=0.60,
+        l2_reuse=0.55, store_fraction=0.15, footprint_rows=32, bank_spread=8,
+    ),
+    "G13": _profile(
+        "lud", compute_per_phase=40, accesses_per_phase=4, row_locality=0.50,
+        l2_reuse=0.50, store_fraction=0.20, footprint_rows=48, bank_spread=12,
+    ),
+    "G14": _profile(
+        "mummergpu", compute_per_phase=30, accesses_per_phase=2, row_locality=0.20,
+        l2_reuse=0.35, store_fraction=0.05, footprint_rows=160, bank_spread=16,
+    ),
+    "G15": _profile(
+        "nn", compute_per_phase=3, accesses_per_phase=8, row_locality=0.55,
+        l2_reuse=0.05, store_fraction=0.05, footprint_rows=128, bank_spread=16,
+    ),
+    "G16": _profile(
+        "nw", compute_per_phase=55, accesses_per_phase=3, row_locality=0.45,
+        l2_reuse=0.40, store_fraction=0.25, footprint_rows=64, bank_spread=10,
+    ),
+    "G17": _profile(
+        "pathfinder", compute_per_phase=10, accesses_per_phase=6, row_locality=0.96,
+        l2_reuse=0.25, store_fraction=0.15, footprint_rows=16, bank_spread=8,
+    ),
+    "G18": _profile(
+        "srad_v1", compute_per_phase=45, accesses_per_phase=4, row_locality=0.60,
+        l2_reuse=0.45, store_fraction=0.25, footprint_rows=48, bank_spread=12,
+    ),
+    "G19": _profile(
+        "srad_v2", compute_per_phase=6, accesses_per_phase=8, row_locality=0.70,
+        l2_reuse=0.70, store_fraction=0.20, footprint_rows=32, bank_spread=12,
+    ),
+    "G20": _profile(
+        "streamcluster", compute_per_phase=20, accesses_per_phase=4, row_locality=0.65,
+        l2_reuse=0.60, store_fraction=0.10, footprint_rows=64, bank_spread=12,
+    ),
+}
+
+#: The four memory-intensive kernels + the compute-intensive one used by
+#: Figures 5 and 13.
+MEMORY_INTENSIVE = ["G6", "G11", "G17", "G19"]
+COMPUTE_INTENSIVE = "G10"
+FIGURE5_CORUNNERS = ["G4", "G6", "G15", "G17"]
+
+
+def rodinia_ids() -> List[str]:
+    return list(RODINIA)
+
+
+def get_gpu_kernel(gid: str) -> GPUKernelProfile:
+    try:
+        return RODINIA[gid]
+    except KeyError:
+        raise KeyError(f"unknown Rodinia id {gid!r}; known: {list(RODINIA)}") from None

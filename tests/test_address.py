@@ -1,0 +1,124 @@
+"""Unit and property tests for the DRAM address mapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import PAPER_ADDRESS_MAP, AddressMapper, scaled_address_map
+
+
+class TestPaperMap:
+    def setup_method(self):
+        self.mapper = AddressMapper(PAPER_ADDRESS_MAP)
+
+    def test_field_widths_match_table1(self):
+        assert self.mapper.num_channels == 32
+        assert self.mapper.num_banks == 16
+        assert self.mapper.column_bits == 6
+        assert self.mapper.row_bits == 21
+
+    def test_total_bits(self):
+        assert self.mapper.total_bits == 36
+
+    def test_zero_address(self):
+        d = self.mapper.decode(0)
+        assert (d.channel, d.bank, d.row, d.column) == (0, 0, 0, 0)
+
+    def test_channel_stride(self):
+        # Channel bits sit at positions 3..7, so +8 bumps the channel.
+        d0 = self.mapper.decode(0)
+        d1 = self.mapper.decode(8)
+        assert d1.channel == d0.channel + 1
+        assert d1.row == d0.row
+        assert d1.bank == d0.bank
+
+    def test_low_column_bits(self):
+        # The lowest three bits are column bits.
+        for offset in range(8):
+            d = self.mapper.decode(offset)
+            assert d.channel == 0
+            assert d.column == offset
+
+    def test_encode_decode_roundtrip_simple(self):
+        addr = self.mapper.encode(channel=5, bank=3, row=100, column=17)
+        d = self.mapper.decode(addr)
+        assert (d.channel, d.bank, d.row, d.column) == (5, 3, 100, 17)
+
+    def test_row_overflow_extends(self):
+        big_row = 1 << 25  # beyond the map's 21 row bits
+        addr = self.mapper.encode(channel=0, bank=0, row=big_row, column=0)
+        assert self.mapper.decode(addr).row == big_row
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.mapper.encode(channel=32, bank=0, row=0, column=0)
+        with pytest.raises(ValueError):
+            self.mapper.encode(channel=0, bank=16, row=0, column=0)
+        with pytest.raises(ValueError):
+            self.mapper.encode(channel=0, bank=0, row=-1, column=0)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            self.mapper.decode(-1)
+
+
+class TestSpecParsing:
+    def test_rejects_unknown_letters(self):
+        with pytest.raises(ValueError):
+            AddressMapper("RRXX")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AddressMapper("...")
+
+    def test_ignores_separators(self):
+        a = AddressMapper("RR.BB CC_DD")
+        assert a.total_bits == 8
+        assert a.num_channels == 4
+
+    def test_scaled_map_shapes(self):
+        for channel_bits in range(0, 6):
+            mapper = AddressMapper(scaled_address_map(channel_bits))
+            assert mapper.num_channels == 1 << channel_bits
+            assert mapper.num_banks == 16
+
+    def test_scaled_map_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            scaled_address_map(3, column_bits=0)
+
+
+@settings(max_examples=200)
+@given(address=st.integers(min_value=0, max_value=(1 << 40) - 1))
+def test_decode_encode_bijection(address):
+    mapper = AddressMapper(PAPER_ADDRESS_MAP)
+    d = mapper.decode(address)
+    assert mapper.encode(d.channel, d.bank, d.row, d.column) == address
+
+
+@settings(max_examples=100)
+@given(
+    channel=st.integers(min_value=0, max_value=31),
+    bank=st.integers(min_value=0, max_value=15),
+    row=st.integers(min_value=0, max_value=(1 << 23) - 1),
+    column=st.integers(min_value=0, max_value=63),
+)
+def test_encode_decode_bijection(channel, bank, row, column):
+    mapper = AddressMapper(PAPER_ADDRESS_MAP)
+    addr = mapper.encode(channel, bank, row, column)
+    d = mapper.decode(addr)
+    assert (d.channel, d.bank, d.row, d.column) == (channel, bank, row, column)
+
+
+@settings(max_examples=50)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=(1 << 36) - 1), min_size=2, max_size=20, unique=True
+    )
+)
+def test_distinct_addresses_decode_distinct(addresses):
+    mapper = AddressMapper(PAPER_ADDRESS_MAP)
+    coords = {
+        (d.channel, d.bank, d.row, d.column)
+        for d in (mapper.decode(a) for a in addresses)
+    }
+    assert len(coords) == len(addresses)

@@ -1,0 +1,66 @@
+"""Tests for the mode-switch logic area model (Section VII-A)."""
+
+import pytest
+
+from repro.core.area import (
+    PAPER_F3FS,
+    PAPER_FRFCFS,
+    AreaEstimate,
+    f3fs_switch_area,
+    frfcfs_switch_area,
+    relative_error,
+)
+
+
+class TestCalibration:
+    def test_frfcfs_matches_paper_synthesis(self):
+        estimate = frfcfs_switch_area(num_banks=16)
+        assert relative_error(estimate, PAPER_FRFCFS) < 0.05
+
+    def test_f3fs_matches_paper_synthesis(self):
+        estimate = f3fs_switch_area()
+        assert relative_error(estimate, PAPER_F3FS) < 0.05
+
+    def test_qualitative_tradeoff(self):
+        """F3FS: fewer LUTs (no per-bank tracking), more FFs (counters)."""
+        frfcfs = frfcfs_switch_area(num_banks=16)
+        f3fs = f3fs_switch_area()
+        assert f3fs.luts < frfcfs.luts
+        assert f3fs.flip_flops > frfcfs.flip_flops
+
+
+class TestScaling:
+    def test_frfcfs_grows_with_banks(self):
+        areas = [frfcfs_switch_area(num_banks=n).luts for n in (4, 8, 16, 32)]
+        assert areas == sorted(areas)
+        assert areas[-1] > areas[0]
+
+    def test_frfcfs_ff_growth_is_per_bank(self):
+        a16 = frfcfs_switch_area(num_banks=16).flip_flops
+        a32 = frfcfs_switch_area(num_banks=32).flip_flops
+        assert a32 - a16 == 2 * 16  # two bits per extra bank
+
+    def test_f3fs_grows_with_cap_width(self):
+        small = f3fs_switch_area(cap_bits=6)
+        large = f3fs_switch_area(cap_bits=12)
+        assert large.flip_flops > small.flip_flops
+        assert large.luts > small.luts
+
+    def test_f3fs_independent_of_banks(self):
+        """The key scalability argument: no per-bank state in F3FS."""
+        assert f3fs_switch_area() == f3fs_switch_area()
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            frfcfs_switch_area(num_banks=0)
+        with pytest.raises(ValueError):
+            f3fs_switch_area(cap_bits=0)
+
+    def test_estimate_addition(self):
+        total = AreaEstimate(10, 5) + AreaEstimate(1, 2)
+        assert total == AreaEstimate(11, 7)
+
+    def test_relative_error_zero_for_exact(self):
+        assert relative_error(PAPER_F3FS, PAPER_F3FS) == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--gpu", "G99"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian" in out
+        assert "Stream Add" in out
+        assert "F3FS" in out
+
+    def test_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--gpu", "G17",
+                "--pim", "P2",
+                "--policy", "F3FS",
+                "--vcs", "2",
+                "--scale", "0.05",
+                "--channels", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fairness" in out
+        assert "F3FS" in out
+
+    def test_collaborative(self, capsys):
+        code = main(
+            ["collaborative", "--policy", "FR-FCFS", "--vcs", "2", "--scale", "0.05", "--channels", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "ideal" in out
+
+    def test_figure_fig4(self, capsys):
+        code = main(
+            [
+                "figure", "fig4",
+                "--gpus", "G17",
+                "--pims", "P2",
+                "--scale", "0.05",
+                "--channels", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mc_rate" in out
+        assert "PIM" in out
+
+    def test_figure_fig11_subset(self, capsys):
+        code = main(
+            [
+                "figure", "fig11",
+                "--policies", "FR-FCFS", "F3FS",
+                "--scale", "0.05",
+                "--channels", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ideal" in out

@@ -1,0 +1,36 @@
+"""Smoke tests: the fast, deterministic examples run and self-verify.
+
+The heavier examples (policy comparison, LLM, congestion studies) are
+exercised indirectly through the experiments tests and benchmarks; the
+functional ones below verify actual data correctness, so running them is
+a real end-to-end check of SM -> NoC -> MC -> PIM execution.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+FAST_EXAMPLES = ["pim_vector_add.py", "custom_pim_kernel.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_functional_example_passes(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_examples_are_documented():
+    """Every example starts with a shebang and a module docstring."""
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python3"), script.name
+        assert '"""' in text.split("\n", 2)[1], script.name

@@ -1,0 +1,149 @@
+"""Tests for the experiment runner, figure harnesses, and sweeps."""
+
+import pytest
+
+from repro.core.policies import PolicySpec
+from repro.experiments import (
+    ABLATION_STAGES,
+    ExperimentScale,
+    Runner,
+    collaborative_policy,
+    competitive_policy,
+    format_table,
+    sweep_policy_parameter,
+)
+
+TINY = ExperimentScale(
+    num_channels=4,
+    gpu_sms_full=4,
+    gpu_sms_corun=3,
+    pim_sms=1,
+    noc_queue_size=32,
+    workload_scale=0.05,
+    starvation_factor=10,
+    max_cycles=400_000,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(TINY)
+
+
+class TestExperimentScale:
+    def test_config_roundtrip(self):
+        config = TINY.config(num_vcs=2)
+        assert config.num_channels == 4
+        assert config.num_virtual_channels == 2
+        assert config.num_sms == 4
+
+    def test_queue_override(self):
+        assert TINY.config(noc_queue_size=16).noc_queue_size == 16
+
+
+class TestPolicyHelpers:
+    def test_competitive_params(self):
+        spec = competitive_policy("FR-FCFS-Cap")
+        assert spec.params == {"cap": 32}
+        assert competitive_policy("FCFS").params == {}
+
+    def test_collaborative_f3fs_caps_differ_by_vc(self):
+        vc1 = collaborative_policy("F3FS", 1)
+        vc2 = collaborative_policy("F3FS", 2)
+        assert vc1.params != vc2.params
+        assert vc1.params["mem_cap"] > vc1.params["pim_cap"]  # asymmetric
+        assert vc2.params["mem_cap"] == vc2.params["pim_cap"]  # symmetric
+
+    def test_ablation_ladder_is_incremental(self):
+        assert len(ABLATION_STAGES) == 4
+        assert ABLATION_STAGES[0]["policy"] == "FR-FCFS-Cap"
+        assert ABLATION_STAGES[1]["params"]["current_mode_first"] is False
+        assert ABLATION_STAGES[3]["params"]["mem_cap"] != ABLATION_STAGES[3]["params"]["pim_cap"]
+
+
+class TestRunner:
+    def test_standalone_cached(self, runner):
+        first = runner.gpu_standalone("G17")
+        second = runner.gpu_standalone("G17")
+        assert first is second  # same object: served from cache
+
+    def test_standalone_duration_positive(self, runner):
+        assert runner.standalone_duration(
+            "G17", __import__("repro.workloads", fromlist=["get_gpu_kernel"]).get_gpu_kernel("G17"),
+            TINY.gpu_sms_full, 1,
+        ) > 0
+
+    def test_competitive_outcome_fields(self, runner):
+        outcome = runner.competitive("G17", "P2", competitive_policy("F3FS"), num_vcs=2)
+        assert 0 <= outcome.fairness <= 1
+        assert outcome.throughput >= 0
+        assert outcome.gpu_speedup > 0
+        assert outcome.pim_speedup > 0
+        assert outcome.cycles > 0
+
+    def test_competitive_cached(self, runner):
+        spec = competitive_policy("F3FS")
+        a = runner.competitive("G17", "P2", spec, num_vcs=2)
+        b = runner.competitive("G17", "P2", spec, num_vcs=2)
+        assert a is b
+
+    def test_different_policies_not_conflated(self, runner):
+        a = runner.competitive("G17", "P2", competitive_policy("F3FS"), num_vcs=2)
+        b = runner.competitive("G17", "P2", competitive_policy("FCFS"), num_vcs=2)
+        assert a is not b
+
+    def test_collaborative_outcome(self, runner):
+        outcome = runner.collaborative(collaborative_policy("FR-FCFS", 2), num_vcs=2)
+        assert outcome.speedup > 0
+        assert outcome.ideal_speedup >= 1.0
+        assert outcome.speedup <= outcome.ideal_speedup + 1e-9
+        assert outcome.gpu_standalone > outcome.pim_standalone  # QKV longer
+
+    def test_gpu_pair(self, runner):
+        assert 0 < runner.gpu_pair("G17", "G10") <= 2.0
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        r1 = Runner(TINY, cache_path=path)
+        duration = r1.standalone_duration(
+            "G17",
+            __import__("repro.workloads", fromlist=["get_gpu_kernel"]).get_gpu_kernel("G17"),
+            TINY.gpu_sms_full,
+            1,
+        )
+        r2 = Runner(TINY, cache_path=path)
+        key = r2._standalone_key("G17", TINY.gpu_sms_full, 1)
+        assert r2._duration_cache[key] == duration
+
+
+class TestSweeps:
+    def test_policy_parameter_sweep(self, runner):
+        rows = sweep_policy_parameter(
+            runner,
+            "FR-FCFS-Cap",
+            "cap",
+            [8, 64],
+            gpu_subset=["G17"],
+            pim_subset=["P2"],
+            num_vcs=2,
+        )
+        assert len(rows) == 2
+        assert {row["value"] for row in rows} == {8, 64}
+        for row in rows:
+            assert 0 <= row["fairness"] <= 1
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            [{"a": 1.23456, "b": "x"}, {"a": 10.0, "b": "longer"}], ["a", "b"]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, divider, 2 rows
+        assert "1.235" in text
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_missing_keys_render_empty(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert "b" in text

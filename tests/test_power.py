@@ -1,0 +1,136 @@
+"""Tests for the DRAM/PIM energy model."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.policies import PolicySpec
+from repro.dram.power import EnergyAccountant, EnergyBreakdown, EnergyParams
+from repro.sim.system import GPUSystem
+from repro.workloads.synthetic import GPUKernelProfile, PIMStreamKernel
+
+
+class TestEnergyParams:
+    def test_defaults_positive(self):
+        params = EnergyParams()
+        assert params.mem_read_pj > params.core_column_pj  # I/O adds energy
+        assert params.pim_op_pj(16) > 0
+
+    def test_pim_word_energy_cheaper_than_mem(self):
+        """The PIM pitch: per useful word, no I/O energy is paid."""
+        params = EnergyParams()
+        pim_per_word = params.pim_op_pj(16) / 16
+        assert pim_per_word < params.mem_read_pj
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyParams(io_pj=-1)
+
+
+class TestAccountant:
+    def test_component_math(self):
+        params = EnergyParams(
+            act_pre_pj=1000,
+            core_column_pj=100,
+            io_pj=400,
+            pim_fu_pj=50,
+            refresh_pj=10_000,
+            noc_hop_pj=100,
+            background_pj_per_cycle=10,
+        )
+        breakdown = EnergyAccountant(params).account(
+            cycles=1000,
+            num_channels=2,
+            activates=10,
+            reads=20,
+            writes=5,
+            pim_ops=8,
+            pim_banks=4,
+            pim_row_switches=2,
+            refreshes=1,
+            noc_transfers=25,
+        )
+        assert breakdown.activate == pytest.approx((10 + 2 * 4) * 1.0)
+        assert breakdown.read == pytest.approx(20 * 0.5)
+        assert breakdown.write == pytest.approx(5 * 0.5)
+        assert breakdown.pim == pytest.approx(8 * 4 * 0.15)
+        assert breakdown.refresh == pytest.approx(10.0)
+        assert breakdown.noc == pytest.approx(2.5)
+        assert breakdown.background == pytest.approx(1000 * 2 * 0.01)
+        assert breakdown.total == pytest.approx(
+            sum(
+                [
+                    breakdown.activate,
+                    breakdown.read,
+                    breakdown.write,
+                    breakdown.pim,
+                    breakdown.refresh,
+                    breakdown.noc,
+                    breakdown.background,
+                ]
+            )
+        )
+
+    def test_dict_round_trip(self):
+        breakdown = EnergyBreakdown(read=1.0, background=2.0)
+        data = breakdown.as_dict()
+        assert data["total"] == pytest.approx(3.0)
+        assert breakdown.dynamic == pytest.approx(1.0)
+
+
+class TestSystemEnergy:
+    def _config(self):
+        return SystemConfig.scaled(num_channels=4, num_sms=4)
+
+    def test_gpu_run_has_read_and_noc_energy(self):
+        system = GPUSystem(self._config(), PolicySpec("FR-FCFS"))
+        system.add_kernel(
+            GPUKernelProfile(name="e-gpu", accesses_per_warp=128, l2_reuse=0.0),
+            num_sms=2,
+        )
+        system.run(max_cycles=300_000)
+        energy = system.energy_report()
+        assert energy.read > 0
+        assert energy.noc > 0
+        assert energy.pim == 0
+        assert energy.background > 0
+
+    def test_pim_run_has_pim_energy_no_reads(self):
+        system = GPUSystem(self._config(), PolicySpec("FR-FCFS"))
+        system.add_kernel(PIMStreamKernel(name="e-pim", elements_per_warp=64), num_sms=1)
+        system.run(max_cycles=300_000)
+        energy = system.energy_report()
+        assert energy.pim > 0
+        assert energy.read == 0
+        assert energy.activate > 0  # PIM row switches activate all banks
+
+    def test_pim_beats_host_energy_per_element(self):
+        """STREAM-Add on PIM vs the same work as host loads/stores."""
+        elements = 256
+        pim_system = GPUSystem(self._config(), PolicySpec("FR-FCFS"))
+        pim_system.add_kernel(
+            PIMStreamKernel(name="e-add-pim", elements_per_warp=elements), num_sms=1
+        )
+        pim_result = pim_system.run(max_cycles=500_000)
+        # Host version: 2 loads + 1 store per element, streaming (no reuse).
+        host_system = GPUSystem(self._config(), PolicySpec("FR-FCFS"))
+        host_system.add_kernel(
+            GPUKernelProfile(
+                name="e-add-host",
+                accesses_per_warp=3 * elements,
+                compute_per_phase=1,
+                accesses_per_phase=8,
+                row_locality=0.95,
+                l2_reuse=0.0,
+                store_fraction=0.34,
+            ),
+            num_sms=4,
+        )
+        host_result = host_system.run(max_cycles=500_000)
+        assert pim_result.all_completed and host_result.all_completed
+        # Dynamic energy per processed element: PIM processes
+        # elements x banks words per channel-warp in lock-step.
+        pim_words = elements * 16 * 4  # elements x banks x channels(warps)
+        host_words = 3 * elements * 4 * 4  # accesses x warps x SMs
+        pim_energy = pim_system.energy_report().dynamic / pim_words
+        host_energy = host_system.energy_report().dynamic / host_words
+        assert pim_energy < host_energy

@@ -1,0 +1,67 @@
+"""Tests for the timeline sampler."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.policies import PolicySpec
+from repro.metrics.timeline import TimelineSampler
+from repro.sim.system import GPUSystem
+from repro.workloads.synthetic import GPUKernelProfile, PIMStreamKernel
+
+
+def run_with_timeline(policy="F3FS", interval=50):
+    config = SystemConfig.scaled(num_channels=4, num_sms=4)
+    system = GPUSystem(config, PolicySpec(policy))
+    timeline = system.attach_timeline(interval=interval)
+    system.add_kernel(
+        GPUKernelProfile(name="tl-gpu", accesses_per_warp=96, compute_per_phase=5),
+        num_sms=2,
+        loop=True,
+    )
+    system.add_kernel(PIMStreamKernel(name="tl-pim", elements_per_warp=96), num_sms=1, loop=True)
+    result = system.run(max_cycles=300_000)
+    return system, timeline, result
+
+
+class TestSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(interval=0)
+
+    def test_samples_recorded_on_cadence(self):
+        system, timeline, result = run_with_timeline(interval=50)
+        assert len(timeline.samples) >= result.cycles // 50
+        cycles = [s.cycle for s in timeline.samples]
+        assert all(c % 50 == 0 for c in cycles)
+        assert cycles == sorted(cycles)
+
+    def test_mode_share_sums_to_one(self):
+        _, timeline, _ = run_with_timeline()
+        share = timeline.mode_share()
+        assert sum(share.values()) == pytest.approx(1.0)
+        # Both modes appear during MEM/PIM co-execution.
+        assert share["mem"] > 0
+        assert share["pim"] > 0
+
+    def test_occupancy_series(self):
+        _, timeline, _ = run_with_timeline()
+        series = timeline.occupancy_series("pim")
+        assert len(series) == len(timeline.samples)
+        assert max(series) > 0  # PIM queue was used
+        with pytest.raises(ValueError):
+            timeline.occupancy_series("bogus")
+
+    def test_switch_points_detected(self):
+        _, timeline, _ = run_with_timeline(interval=10)
+        assert len(timeline.switch_points(channel=0)) > 0
+
+    def test_render_strip(self):
+        _, timeline, _ = run_with_timeline(interval=10)
+        strip = timeline.render_strip(channel=0, width=40)
+        assert 0 < len(strip) <= 40
+        assert set(strip) <= {"M", "P", "|"}
+
+    def test_empty_sampler_renders_empty(self):
+        sampler = TimelineSampler()
+        assert sampler.render_strip() == ""
+        assert sampler.mode_share()["mem"] == 0.0

@@ -1,0 +1,129 @@
+"""DRAM timing validation: the command log obeys the raw JEDEC rules.
+
+These tests use :mod:`repro.dram.validate` as an independent oracle for
+the one-shot scheduling in :meth:`repro.dram.bank.Bank.schedule`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.channel import Channel
+from repro.dram.timings import DRAMTimings
+from repro.dram.validate import ACT, PRE, READ, WRITE, Command, validate_command_log
+from repro.request import Request, RequestType
+
+
+def mem_request(bank, row, column=0, write=False):
+    req = Request(
+        type=RequestType.MEM_STORE if write else RequestType.MEM_LOAD, address=0
+    )
+    req.channel, req.bank, req.row, req.column = 0, bank, row, column
+    return req
+
+
+class TestValidatorDetectsViolations:
+    def setup_method(self):
+        self.t = DRAMTimings()
+
+    def test_clean_sequence_passes(self):
+        log = [
+            Command(0, ACT, 0, row=1),
+            Command(12, READ, 0, row=1),
+            Command(40, PRE, 0),
+            Command(60, ACT, 0, row=2),
+        ]
+        assert validate_command_log(log, self.t) == []
+
+    def test_trcd_violation(self):
+        log = [Command(0, ACT, 0, row=1), Command(5, READ, 0, row=1)]
+        violations = validate_command_log(log, self.t)
+        assert any(v.rule == "tRCD" for v in violations)
+
+    def test_tras_violation(self):
+        log = [Command(0, ACT, 0, row=1), Command(10, PRE, 0)]
+        violations = validate_command_log(log, self.t)
+        assert any(v.rule == "tRAS" for v in violations)
+
+    def test_trp_violation(self):
+        log = [
+            Command(0, ACT, 0, row=1),
+            Command(40, PRE, 0),
+            Command(45, ACT, 0, row=2),
+        ]
+        violations = validate_command_log(log, self.t)
+        assert any(v.rule == "tRP" for v in violations)
+
+    def test_trrd_violation(self):
+        log = [Command(0, ACT, 0, row=1), Command(1, ACT, 1, row=1)]
+        violations = validate_command_log(log, self.t)
+        assert any(v.rule == "tRRD" for v in violations)
+
+    def test_data_bus_violation(self):
+        log = [
+            Command(0, ACT, 0, row=1),
+            Command(5, ACT, 1, row=1),
+            Command(20, READ, 0, row=1),
+            Command(21, READ, 1, row=1),
+        ]
+        violations = validate_command_log(log, self.t)
+        assert any(v.rule == "data-bus" for v in violations)
+
+    def test_column_to_closed_row(self):
+        log = [Command(0, READ, 0, row=1)]
+        violations = validate_command_log(log, self.t)
+        assert any(v.rule == "column-to-closed-row" for v in violations)
+
+    def test_twr_violation(self):
+        log = [
+            Command(0, ACT, 0, row=1),
+            Command(20, WRITE, 0, row=1),  # data done at 24 (tWL + burst)
+            Command(30, PRE, 0),  # tRAS satisfied, write recovery not
+        ]
+        violations = validate_command_log(log, self.t)
+        assert any(v.rule == "tWR" for v in violations)
+
+
+class TestChannelProducesLegalCommands:
+    def _drive(self, accesses, timings=None):
+        channel = Channel(0, 4, timings or DRAMTimings(), log_commands=True)
+        cycle = 0
+        for bank, row, write in accesses:
+            while not channel.bank_can_accept(bank, cycle):
+                cycle += 1
+            channel.issue_mem(mem_request(bank, row, write=write), cycle)
+            cycle += 1
+        return channel
+
+    def test_simple_stream_is_legal(self):
+        accesses = [(0, 0, False), (0, 0, False), (0, 1, True), (1, 0, False)]
+        channel = self._drive(accesses)
+        assert validate_command_log(channel.command_log, channel.timings) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        accesses=st.lists(
+            st.tuples(
+                st.integers(0, 3),  # bank
+                st.integers(0, 4),  # row
+                st.booleans(),  # write
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_random_streams_are_legal(self, accesses):
+        """Property: no random MEM stream produces an illegal schedule."""
+        channel = self._drive(accesses)
+        violations = validate_command_log(channel.command_log, channel.timings)
+        assert violations == [], [str(v) for v in violations]
+
+    def test_log_disabled_by_default(self):
+        channel = Channel(0, 4, DRAMTimings())
+        channel.issue_mem(mem_request(0, 0), 0)
+        assert channel.command_log == []
+
+    def test_reset_clears_log(self):
+        channel = Channel(0, 4, DRAMTimings(), log_commands=True)
+        channel.issue_mem(mem_request(0, 0), 0)
+        channel.reset()
+        assert channel.command_log == []

@@ -1,0 +1,197 @@
+"""Tests for the workload generators (Rodinia profiles, PIM suite, LLM)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import AddressMapper, scaled_address_map
+from repro.gpu.kernel import LaunchContext
+from repro.pim.isa import PIMOpKind
+from repro.workloads import (
+    PIM_SUITE,
+    RODINIA,
+    GPUKernelProfile,
+    PIMGemvKernel,
+    PIMStreamKernel,
+    get_gpu_kernel,
+    get_pim_kernel,
+    llm_kernels,
+    pim_ids,
+    rodinia_ids,
+)
+
+
+def make_ctx(num_channels=4, warps=4, scale=1.0):
+    return LaunchContext(
+        mapper=AddressMapper(scaled_address_map(2)),
+        num_channels=num_channels,
+        banks_per_channel=16,
+        num_sms=1,
+        warps_per_sm=warps,
+        rng=np.random.default_rng(3),
+        scale=scale,
+    )
+
+
+def collect(spec, ctx, sm_slot=0, warp=0, limit=100_000):
+    requests = []
+    for phase in spec.warp_program(ctx, sm_slot, warp):
+        requests.extend(phase.requests)
+        if len(requests) > limit:
+            break
+    return requests
+
+
+class TestSuites:
+    def test_rodinia_has_20_kernels(self):
+        assert len(RODINIA) == 20
+        assert rodinia_ids() == [f"G{i}" for i in range(1, 21)]
+
+    def test_pim_suite_has_9_kernels(self):
+        assert len(PIM_SUITE) == 9
+        assert pim_ids() == [f"P{i}" for i in range(1, 10)]
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError):
+            get_gpu_kernel("G99")
+        with pytest.raises(KeyError):
+            get_pim_kernel("P0")
+
+    def test_table_names(self):
+        assert RODINIA["G6"].name == "gaussian"
+        assert RODINIA["G17"].name == "pathfinder"
+        assert PIM_SUITE["P1"].name == "Stream Add"
+        assert PIM_SUITE["P7"].name == "Fully connected"
+
+    def test_kinds(self):
+        assert all(spec.kind == "gpu" for spec in RODINIA.values())
+        assert all(spec.kind == "pim" for spec in PIM_SUITE.values())
+
+
+class TestGPUProfile:
+    def test_request_count_scales(self):
+        spec = GPUKernelProfile(name="t", accesses_per_warp=100)
+        full = collect(spec, make_ctx(scale=1.0))
+        half = collect(spec, make_ctx(scale=0.5))
+        assert len(full) == 100
+        assert len(half) == 50
+
+    def test_addresses_decode_consistently(self):
+        spec = GPUKernelProfile(name="t2", accesses_per_warp=64)
+        ctx = make_ctx()
+        for request in collect(spec, ctx):
+            decoded = ctx.mapper.decode(request.address)
+            assert decoded.channel == request.channel
+            assert decoded.bank == request.bank
+            assert decoded.row == request.row
+            assert decoded.column == request.column
+
+    def test_store_fraction_zero_means_all_loads(self):
+        spec = GPUKernelProfile(name="t3", accesses_per_warp=64, store_fraction=0.0)
+        assert all(r.is_load for r in collect(spec, make_ctx()))
+
+    def test_high_locality_means_sequential_columns(self):
+        spec = GPUKernelProfile(
+            name="t4", accesses_per_warp=256, row_locality=1.0, l2_reuse=0.0
+        )
+        requests = collect(spec, make_ctx())
+        same_row_streaks = sum(
+            1
+            for a, b in zip(requests, requests[1:])
+            if (a.bank, a.row) == (b.bank, b.row)
+        )
+        assert same_row_streaks / len(requests) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUKernelProfile(name="bad", row_locality=1.5)
+        with pytest.raises(ValueError):
+            GPUKernelProfile(name="bad", accesses_per_phase=0)
+
+
+class TestPIMStream:
+    def test_block_structure_separate_rows(self):
+        """Ops come in RF-sized blocks per operand row (literal Figure 3)."""
+        spec = PIMStreamKernel(name="t", elements_per_warp=32, layout="separate_rows")
+        ctx = make_ctx()
+        requests = collect(spec, ctx)
+        # 32 elements x 3 ops (load/add/store).
+        assert len(requests) == 96
+        block = ctx.rf_entries_per_bank
+        for i in range(0, len(requests), block):
+            rows = {r.row for r in requests[i : i + block]}
+            assert len(rows) == 1  # each block stays in one row
+
+    def test_operand_rows_distinct_in_separate_layout(self):
+        spec = PIMStreamKernel(name="t", elements_per_warp=8, layout="separate_rows")
+        requests = collect(spec, make_ctx())
+        load_rows = {r.row for r in requests if r.pim_op.kind is PIMOpKind.LOAD}
+        store_rows = {r.row for r in requests if r.pim_op.kind is PIMOpKind.STORE}
+        assert load_rows.isdisjoint(store_rows)
+
+    def test_same_row_layout_has_high_locality(self):
+        """The default layout reproduces the paper's ~99% PIM locality."""
+        spec = PIMStreamKernel(name="t", elements_per_warp=256)
+        requests = collect(spec, make_ctx())
+        row_switches = sum(
+            1 for a, b in zip(requests, requests[1:]) if a.row != b.row
+        )
+        assert row_switches / len(requests) < 0.06
+
+    def test_same_row_operand_columns_disjoint(self):
+        spec = PIMStreamKernel(name="t", elements_per_warp=8)
+        ctx = make_ctx()
+        locations = {
+            role: {spec.operand_location(ctx, role, e) for e in range(8)}
+            for role in range(spec.num_operands)
+        }
+        assert locations[0].isdisjoint(locations[1])
+        assert locations[1].isdisjoint(locations[2])
+
+    def test_warp_maps_to_single_channel(self):
+        spec = PIMStreamKernel(name="t", elements_per_warp=64)
+        ctx = make_ctx(num_channels=4, warps=4)
+        for warp in range(4):
+            channels = {r.channel for r in collect(spec, ctx, warp=warp)}
+            assert channels == {warp}
+
+    def test_warps_capped_to_channels(self):
+        spec = PIMStreamKernel(name="t")
+        ctx = make_ctx(num_channels=4, warps=8)
+        assert spec.warps_per_sm(ctx) == 4
+
+    def test_all_requests_are_pim(self):
+        spec = PIMStreamKernel(name="t", elements_per_warp=16)
+        assert all(r.is_pim for r in collect(spec, make_ctx()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIMStreamKernel(name="bad", ops=())
+        with pytest.raises(ValueError):
+            PIMStreamKernel(name="bad", elements_per_warp=0)
+        with pytest.raises(ValueError):
+            PIMStreamKernel(name="bad", layout="diagonal")
+
+
+class TestPIMGemv:
+    def test_mac_dominated(self):
+        spec = PIMGemvKernel(name="t", outputs_per_warp=16, macs_per_output=8)
+        requests = collect(spec, make_ctx())
+        macs = sum(1 for r in requests if r.pim_op.kind is PIMOpKind.MAC)
+        stores = sum(1 for r in requests if r.pim_op.kind is PIMOpKind.STORE)
+        assert macs > 4 * stores
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIMGemvKernel(name="bad", outputs_per_warp=0)
+
+
+class TestLLM:
+    def test_kernel_pair(self):
+        qkv, mha = llm_kernels()
+        assert qkv.kind == "gpu"
+        assert mha.kind == "pim"
+
+    def test_qkv_is_latency_tolerant(self):
+        qkv, _ = llm_kernels()
+        assert qkv.warps_per_sm(make_ctx()) >= 8
+        assert qkv.l2_reuse >= 0.8  # GEMM tiles live in L2
