@@ -177,6 +177,36 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.perf import SCENARIOS, run_engine_bench
+
+    payload = run_engine_bench(
+        scenario_names=args.scenarios or list(SCENARIOS),
+        channels=args.channels,
+        sms=args.sms,
+        scale=args.scale,
+        seed=args.seed,
+        compare_naive=args.compare,
+        stage_breakdown=not args.no_stages,
+    )
+    text = json.dumps(payload, indent=2)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"benchmark written to {args.out}")
+        for name, entry in payload["scenarios"].items():
+            fast = entry["fast"]
+            line = f"  {name}: {fast['cycles_per_sec']:,.0f} cyc/s"
+            if "speedup_vs_naive" in entry:
+                line += f" ({entry['speedup_vs_naive']}x vs naive loop)"
+            print(line)
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -200,6 +230,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Concurrent PIM and load/store servicing simulator (ISPASS 2025 reproduction)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the top functions",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="with --profile, dump pstats data to FILE (for snakeviz/pstats) "
+        "instead of printing",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -227,6 +269,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(figure)
     figure.set_defaults(func=cmd_figure)
 
+    bench = sub.add_parser("bench", help="benchmark the simulation engine itself")
+    bench.add_argument(
+        "--scenarios",
+        nargs="*",
+        choices=("corun_horizon", "corun_saturated"),
+        help="scenarios to run (default: all)",
+    )
+    bench.add_argument("--sms", type=int, default=10, help="number of SMs")
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="also time the naive cycle-by-cycle loop and report the speedup",
+    )
+    bench.add_argument(
+        "--no-stages",
+        action="store_true",
+        help="skip the instrumented per-stage breakdown run",
+    )
+    bench.add_argument("--out", default="-", help="output JSON file ('-' = stdout)")
+    _add_scale_args(bench)
+    bench.set_defaults(func=cmd_bench)
+
     report = sub.add_parser("report", help="generate a markdown reproduction report")
     report.add_argument("--out", default="-", help="output file ('-' = stdout)")
     report.add_argument("--gpus", nargs="*", choices=rodinia_ids())
@@ -241,7 +305,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if not args.profile:
+        return args.func(args)
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    status = profiler.runcall(args.func, args)
+    profiler.create_stats()
+    if args.profile_out is None:
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+    else:
+        profiler.dump_stats(args.profile_out)
+        print(f"profile written to {args.profile_out}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,10 @@ from repro.dram.refresh import RefreshTimer
 from repro.pim.executor import PIMExecutor
 from repro.request import Mode, Request
 
+#: Sentinel "no self-scheduled event" wake cycle: the controller only needs
+#: attention again when an enqueue or completion marks it dirty.
+NEVER = 1 << 62
+
 
 @dataclass
 class SwitchRecord:
@@ -362,6 +366,37 @@ class MemoryController:
         self._next_wake = cycle + 1
         self._dirty = True
         return request
+
+    def next_wake_cycle(self, cycle: int) -> int:
+        """Earliest cycle at which a future ``tick`` could act (fast-forward
+        contract).
+
+        Only meaningful right after a ``tick(cycle)`` left the controller
+        clean (``_dirty`` False).  Returns ``cycle + 1`` when the controller
+        must keep ticking every cycle, a future cycle when it sleeps until a
+        self-scheduled event (bank timing, drain, refresh), or ``NEVER``
+        when only external work (enqueue/completion) can wake it.  Ticks in
+        between are exactly the ones the in-tick wake gate would skip, so
+        eliding them is behavior-preserving.
+        """
+        wake = self._next_wake
+        if wake > cycle + 1:
+            return wake
+        if self.is_switching or self.mem_queue or self.pim_queue:
+            # Busy but re-evaluating every cycle (e.g. waiting on a bank
+            # that frees next cycle): cannot skip anything.
+            return cycle + 1
+        # Pure idle: both queues empty and no drain in progress.  decide()
+        # is side-effect free on empty queues, so the only future event the
+        # controller generates on its own is refresh.
+        if not self.refresh.enabled:
+            return NEVER
+        if self.refresh.backlog:
+            return cycle + 1
+        wake = self.refresh.next_due_cycle()
+        if cycle < self._refresh_until < wake:
+            wake = self._refresh_until
+        return wake if wake > cycle else cycle + 1
 
     def finalize(self, cycle: int) -> None:
         """Close out time-based accounting at the end of a simulation."""

@@ -34,12 +34,17 @@ class BLISS(SchedulingPolicy):
         self.blacklist: Set[int] = set()
         self._streak_kernel: Optional[int] = None
         self._streak_length = 0
-        self._last_clear = 0
+        self._last_epoch = 0
 
     def _maybe_clear(self, cycle: int) -> None:
-        if cycle - self._last_clear >= self.clear_interval:
+        # Clears are aligned to absolute clear_interval epochs (not to the
+        # cycle of the previous clear) so that skipping idle decision
+        # cycles — during which a clear is unobservable — cannot drift the
+        # schedule.  Part of the engine's fast-forward contract.
+        epoch = cycle // self.clear_interval
+        if epoch != self._last_epoch:
             self.blacklist.clear()
-            self._last_clear = cycle
+            self._last_epoch = epoch
 
     def _score(self, ctl, request: Request, is_hit: bool):
         """Lower tuples win: (blacklisted, not-hit, age)."""

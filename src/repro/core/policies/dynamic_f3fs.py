@@ -57,17 +57,23 @@ class DynamicF3FS(F3FS):
         self.margin = margin
         self.min_cap = min_cap
         self.max_cap = max_cap
-        self._epoch_start = 0
+        self._epoch_index = 0
         self._last_issued = {Mode.MEM: 0, Mode.PIM: 0}
         self.adjustments = 0  # exposed for tests/telemetry
 
     def decide(self, ctl, cycle):
-        if cycle - self._epoch_start >= self.epoch:
+        # Epochs are aligned to absolute cycle boundaries (cycle // epoch)
+        # rather than to the previous adaptation cycle, so skipping idle
+        # decision cycles — during which the issued deltas are zero and an
+        # adaptation is a no-op — cannot drift the schedule.  Part of the
+        # engine's fast-forward contract.
+        epoch = cycle // self.epoch
+        if epoch != self._epoch_index:
+            self._epoch_index = epoch
             self._adapt(ctl, cycle)
         return super().decide(ctl, cycle)
 
     def _adapt(self, ctl, cycle) -> None:
-        self._epoch_start = cycle
         issued = {Mode.MEM: ctl.stats.mem_issued, Mode.PIM: ctl.stats.pim_issued}
         delta_mem = issued[Mode.MEM] - self._last_issued[Mode.MEM]
         delta_pim = issued[Mode.PIM] - self._last_issued[Mode.PIM]

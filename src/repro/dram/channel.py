@@ -121,6 +121,14 @@ class Channel:
     def mem_in_flight(self) -> int:
         return len(self._in_flight)
 
+    def next_completion_cycle(self) -> Optional[int]:
+        """Completion cycle of the earliest in-flight MEM request.
+
+        Fast-forward contract: no in-flight request completes before this,
+        so the engine may jump the clock up to (but not past) it.
+        """
+        return self._in_flight[0][0] if self._in_flight else None
+
     def drain_complete_cycle(self) -> int:
         """Cycle by which every in-flight MEM request will have completed."""
         if not self._in_flight:

@@ -56,6 +56,19 @@ class RefreshTimer:
         self._accrue(cycle)
         return self._pending
 
+    @property
+    def backlog(self) -> int:
+        """Refreshes owed as of the last accrual (no side effects)."""
+        return self._pending
+
+    def next_due_cycle(self) -> int:
+        """Cycle at which the next refresh obligation accrues.
+
+        Part of the engine's fast-forward contract: an idle controller with
+        refresh enabled must wake no later than this cycle.
+        """
+        return self._next_due
+
     def must_refresh(self, cycle: int) -> bool:
         """The postponement budget is exhausted: refresh now."""
         return self.pending(cycle) >= self.max_postponed

@@ -74,6 +74,7 @@ class SM:
         self._local_replies: List[Tuple[int, int, Request]] = []
         self._local_seq = itertools.count()
         self.warps: List[WarpState] = []
+        self._live_warps = 0  # warps not yet done (O(1) is_done)
         self.instance: Optional[KernelInstance] = None
         self.sm_slot = 0
         self.outstanding_loads = 0
@@ -93,6 +94,7 @@ class SM:
         self.issue_width = instance.spec.issue_width(instance.ctx)
         warps = instance.spec.warps_per_sm(instance.ctx)
         self.warps = [WarpState(w, instance.warp_program(sm_slot, w)) for w in range(warps)]
+        self._live_warps = len(self.warps)
         for warp in self.warps:
             warp.compute_until = cycle
         self.outstanding_loads = 0
@@ -107,11 +109,11 @@ class SM:
         return self.instance is None
 
     def is_done(self, cycle: int) -> bool:
+        # A done warp's program is exhausted, so its pending deque can
+        # never refill: live-warp count zero implies all(done, no pending).
         if self.instance is None:
             return True
-        if self.outstanding_loads > 0:
-            return False
-        return all(w.done and not w.pending for w in self.warps)
+        return self.outstanding_loads == 0 and self._live_warps == 0
 
     # -- execution -----------------------------------------------------------
 
@@ -173,19 +175,28 @@ class SM:
                 issued += 1
             slots += 1
             self._issue_rotation = (base + offset + 1) % num_warps
-        if slots or any(w.pending and cycle >= w.compute_until for w in self.warps):
-            # Still actively issuing (or blocked on buffer space / the
-            # outstanding-load limit) — retry next cycle.
+        if slots:
+            # Still actively issuing — retry next cycle.
             self._next_wake = cycle + 1
         else:
-            # All warps are computing, waiting on replies, or done;
-            # a reply (via receive_reply) marks the SM dirty.
-            computes = [
-                w.compute_until
-                for w in self.warps
-                if not w.done and not w.blocked_on_replies()
-            ]
-            self._next_wake = min(computes) if computes else cycle + 1_000_000
+            # Either some warp has a serviceable head but is blocked on
+            # buffer space / the outstanding-load limit (retry next cycle),
+            # or all warps are computing, waiting on replies, or done — in
+            # which case wake at the earliest compute-phase end; a reply
+            # (via receive_reply) marks the SM dirty.
+            wake = cycle + 1_000_000
+            ready = False
+            for w in self.warps:
+                if w.pending:
+                    if cycle >= w.compute_until:
+                        ready = True
+                        break
+                    if w.compute_until < wake:
+                        wake = w.compute_until
+                elif not w.done and not w.blocked_on_replies():
+                    if w.compute_until < wake:
+                        wake = w.compute_until
+            self._next_wake = cycle + 1 if ready else wake
         return issued
 
     def _advance_warps(self, cycle: int) -> None:
@@ -197,6 +208,7 @@ class SM:
             phase = next(warp.program, None)
             if phase is None:
                 warp.done = True
+                self._live_warps -= 1
                 continue
             self._load_phase(warp, phase, cycle)
 
@@ -228,3 +240,16 @@ class SM:
         """Earliest future cycle this SM could make progress on its own."""
         future = [w.compute_until for w in self.warps if not w.done and w.compute_until > cycle]
         return min(future) if future else cycle + 1
+
+    def next_event_cycle(self) -> int:
+        """Fast-forward contract: earliest cycle a future ``step`` could act.
+
+        Valid when the SM is clean (``_dirty`` False): the in-step wake gate
+        skips every cycle before ``_next_wake``, and pending L1-hit replies
+        (delivered ahead of that gate) are the only earlier self-events.
+        """
+        wake = self._next_wake
+        local = self._local_replies
+        if local and local[0][0] < wake:
+            return local[0][0]
+        return wake

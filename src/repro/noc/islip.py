@@ -17,7 +17,7 @@ One arbitration iteration per cycle:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.noc.vc import VCBuffer
 from repro.request import Request
@@ -38,8 +38,14 @@ class ISlipArbiter:
         self,
         inputs: Sequence[VCBuffer],
         outputs: Sequence[VCBuffer],
+        active_inputs: Optional[Iterable[int]] = None,
     ) -> List[Tuple[int, Request]]:
         """Run one arbitration cycle; moves matched requests.
+
+        ``active_inputs`` restricts the request phase to the given input
+        indices (the engine passes the set of SMs with non-empty output
+        buffers); empty inputs contribute nothing to arbitration, so the
+        outcome is identical to scanning all inputs.
 
         Returns the list of ``(output_index, request)`` transfers performed.
         """
@@ -50,7 +56,9 @@ class ISlipArbiter:
         # input's preference rank for the accept phase.
         proposals: Dict[int, List[int]] = {}
         offered: Dict[int, List[Tuple[int, Request]]] = {}
-        for i, buffer in enumerate(inputs):
+        candidates = range(self.num_inputs) if active_inputs is None else active_inputs
+        for i in candidates:
+            buffer = inputs[i]
             if not buffer:
                 continue
             heads = buffer.heads()

@@ -115,6 +115,10 @@ class MeshFabric:
         self._node_channel = {node: c for c, node in self._channel_node.items()}
         self.transfers = 0  # ejections into channel buffers
         self.hops = 0
+        #: Flits currently inside the mesh (router port occupancy), kept
+        #: incrementally so the engine can skip the whole fabric stage when
+        #: nothing is in flight and no SM has traffic to inject.
+        self.occupancy = 0
 
     # -- routing -----------------------------------------------------------
 
@@ -224,6 +228,7 @@ class MeshFabric:
                     raise RuntimeError("mesh ejection flow control violated")
                 ejected.append((channel, request))
                 self.transfers += 1
+                self.occupancy -= 1
             else:
                 neighbor = self._neighbor(node, direction)
                 target = self.routers[neighbor].ports[OPPOSITE[direction]]
@@ -243,6 +248,7 @@ class MeshFabric:
                     continue
                 request = buffer.pop_matching(head)
                 local.try_push(request)
+                self.occupancy += 1
                 break  # one injection per SM per cycle
 
     def in_flight(self) -> int:

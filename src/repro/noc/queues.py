@@ -9,13 +9,30 @@ memory controller all the way back to the SMs (Figure 7a).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, Iterable, Optional, TypeVar
+from typing import Callable, Deque, Generic, Iterable, Optional, TypeVar
 
 T = TypeVar("T")
 
 
 class BoundedQueue(Generic[T]):
-    """FIFO with a hard capacity and occupancy statistics."""
+    """FIFO with a hard capacity and occupancy statistics.
+
+    ``on_push`` / ``on_pop`` are optional zero-argument callbacks fired
+    after every successful push/pop; the simulation engine uses them to
+    maintain its per-stage active sets incrementally (see
+    ``docs/performance.md``).
+    """
+
+    __slots__ = (
+        "capacity",
+        "name",
+        "_items",
+        "pushes",
+        "rejects",
+        "peak_occupancy",
+        "on_push",
+        "on_pop",
+    )
 
     def __init__(self, capacity: int, name: str = "") -> None:
         if capacity < 1:
@@ -26,6 +43,8 @@ class BoundedQueue(Generic[T]):
         self.pushes = 0
         self.rejects = 0
         self.peak_occupancy = 0
+        self.on_push: Optional[Callable[[], None]] = None
+        self.on_pop: Optional[Callable[[], None]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -49,13 +68,16 @@ class BoundedQueue(Generic[T]):
         return self.capacity - len(self._items)
 
     def try_push(self, item: T) -> bool:
-        if self.full:
+        items = self._items
+        if len(items) >= self.capacity:
             self.rejects += 1
             return False
-        self._items.append(item)
+        items.append(item)
         self.pushes += 1
-        if len(self._items) > self.peak_occupancy:
-            self.peak_occupancy = len(self._items)
+        if len(items) > self.peak_occupancy:
+            self.peak_occupancy = len(items)
+        if self.on_push is not None:
+            self.on_push()
         return True
 
     def push(self, item: T) -> None:
@@ -68,7 +90,15 @@ class BoundedQueue(Generic[T]):
     def pop(self) -> T:
         if not self._items:
             raise IndexError("pop from empty queue")
-        return self._items.popleft()
+        item = self._items.popleft()
+        if self.on_pop is not None:
+            self.on_pop()
+        return item
 
     def clear(self) -> None:
-        self._items.clear()
+        if self.on_pop is not None:
+            while self._items:
+                self._items.popleft()
+                self.on_pop()
+        else:
+            self._items.clear()

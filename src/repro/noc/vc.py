@@ -11,7 +11,7 @@ requests before the memory controller.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.noc.queues import BoundedQueue
 from repro.request import Mode, Request
@@ -19,6 +19,8 @@ from repro.request import Mode, Request
 
 class VCBuffer:
     """One or two virtual-channel FIFOs with round-robin service."""
+
+    __slots__ = ("num_vcs", "name", "_queues", "_rotation")
 
     def __init__(self, total_capacity: int, num_vcs: int, name: str = "") -> None:
         if num_vcs not in (1, 2):
@@ -36,6 +38,20 @@ class VCBuffer:
                 BoundedQueue(total_capacity - half, name=f"{name}/pim"),
             ]
         self._rotation = 0  # index of the VC to serve next (VC2 only)
+
+    def watch(
+        self,
+        on_push: Optional[Callable[[], None]],
+        on_pop: Optional[Callable[[], None]],
+    ) -> None:
+        """Register occupancy callbacks on every underlying VC queue.
+
+        The engine uses these to maintain active sets; direct pushes onto
+        ``queue(mode)`` (e.g. L2 writebacks) fire the same hooks.
+        """
+        for queue in self._queues:
+            queue.on_push = on_push
+            queue.on_pop = on_pop
 
     # -- routing ---------------------------------------------------------
 

@@ -1,0 +1,12 @@
+"""Engine observability: per-stage counters and the ``repro bench`` harness.
+
+This package measures the *simulator itself* (wall-clock per engine stage,
+simulated cycles per second), not the simulated machine.  See
+``docs/performance.md`` for how these numbers relate to the engine's
+active-set scheduling and event-driven fast-forwarding.
+"""
+
+from repro.perf.counters import EngineCounters
+from repro.perf.bench import BenchScenario, SCENARIOS, run_engine_bench
+
+__all__ = ["EngineCounters", "BenchScenario", "SCENARIOS", "run_engine_bench"]

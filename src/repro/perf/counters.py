@@ -1,0 +1,47 @@
+"""Per-stage wall-clock counters for the cycle engine.
+
+Attached to a system via :meth:`GPUSystem.enable_perf_counters`; every
+subsequent :meth:`GPUSystem.step` then times each pipeline stage
+individually.  The instrumented step path is slower than the plain one
+(two clock reads per stage), so counters are off by default and the
+headline cycles/sec numbers in ``repro bench`` come from uninstrumented
+runs.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict
+
+
+class EngineCounters:
+    """Accumulated wall-clock seconds and invocation counts per stage."""
+
+    __slots__ = ("clock", "seconds", "calls")
+
+    def __init__(self, clock: Callable[[], float] = perf_counter) -> None:
+        self.clock = clock
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, stage: str, elapsed: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly per-stage summary, sorted by time spent."""
+        total = self.total_seconds
+        return {
+            stage: {
+                "seconds": round(seconds, 6),
+                "calls": self.calls[stage],
+                "share": round(seconds / total, 4) if total else 0.0,
+            }
+            for stage, seconds in sorted(
+                self.seconds.items(), key=lambda kv: kv[1], reverse=True
+            )
+        }

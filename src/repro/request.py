@@ -65,7 +65,7 @@ def reset_request_ids() -> None:
     _request_ids = itertools.count()
 
 
-@dataclass(eq=False)  # identity semantics: a request is a unique entity
+@dataclass(eq=False, slots=True)  # identity semantics: a request is a unique entity
 class Request:
     """A single memory request flowing through the simulated system.
 

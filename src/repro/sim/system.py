@@ -16,22 +16,38 @@ baseline (PIM bursts head-of-line-block MEM requests); with ``2`` it is the
 service, half capacity each).
 
 The engine is cycle-driven, processing stages downstream-first so a request
-moves at most one hop per cycle.
+moves at most one hop per cycle.  Two engine-level optimizations (see
+``docs/performance.md``) keep the per-cycle cost proportional to the amount
+of actual work instead of the machine size:
+
+* **Active-set scheduling** — every inter-stage buffer notifies the engine
+  on push/pop (``BoundedQueue.on_push``/``on_pop``), so each stage loop
+  visits only the channels/SMs that can make progress this cycle.
+  Controllers and SMs that sleep on a future self-event park on a wake
+  heap and leave the loops entirely.
+* **Event-driven fast-forwarding** — when the system is quiescent (no
+  buffered work, no active controller or SM), the clock jumps straight to
+  the earliest scheduled event (reply, DRAM/PIM completion, wake, refresh,
+  timeline sample).  Skipped cycles are provably no-ops, so results are
+  bit-identical to ticking through them (enforced by
+  ``tests/test_fast_forward.py``); set ``REPRO_FAST_FORWARD=0`` or pass
+  ``fast_forward=False`` to fall back to the naive loop.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.cache.l1 import L1Cache
 from repro.cache.l2 import L2Slice, LookupResult
 from repro.config import SystemConfig
-from repro.core.controller import MemoryController
+from repro.core.controller import NEVER, MemoryController
 from repro.core.policies import PolicySpec
 from repro.dram.channel import Channel
 from repro.dram.storage import DataStore
@@ -47,6 +63,11 @@ from repro.sim.results import KernelResult, SimResult
 #: Words (32 B DRAM accesses) per modelled L2 entry.  The slice caches
 #: individual DRAM words (see repro.cache.l2 docstring).
 WORD_BYTES = 32
+
+
+def _default_fast_forward() -> bool:
+    value = os.environ.get("REPRO_FAST_FORWARD", "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
 
 
 class KernelRun:
@@ -79,6 +100,7 @@ class GPUSystem:
         seed: int = 0,
         functional: bool = False,
         scale: float = 1.0,
+        fast_forward: Optional[bool] = None,
     ) -> None:
         self.config = config
         self.policy_spec = policy
@@ -86,6 +108,9 @@ class GPUSystem:
         self.scale = scale
         self.mapper = config.mapper
         self.store = DataStore() if functional else None
+        self.fast_forward = (
+            _default_fast_forward() if fast_forward is None else fast_forward
+        )
 
         timings = config.timings
         vcs = config.num_virtual_channels
@@ -174,13 +199,63 @@ class GPUSystem:
         self.cycle = 0
         self.runs: List[KernelRun] = []
         self._next_kernel_id = 0
-        self._free_sms = list(range(config.num_sms))
+        self._free_sms = deque(range(config.num_sms))
         self._reply_heap: List[Tuple[int, int, Request]] = []
         self._reply_seq = itertools.count()
         self.replies_sent = 0
         self._kernel_inflight: Dict[int, int] = {}
         self._injected: Dict[int, int] = {}
+        self._awaiting_first = 0  # runs without a first completion yet
         self.timeline = None  # optional metrics.timeline.TimelineSampler
+
+        # -- active-set scheduling state (docs/performance.md) -------------
+        # Total items in watched buffers (SM outputs, interconnect->L2,
+        # L2->DRAM) plus pending writebacks; zero is a precondition for
+        # fast-forwarding.
+        self._backlog = 0
+        self._l2_active: Set[int] = set()  # channels: input_buffers non-empty
+        self._ingress_active: Set[int] = set()  # channels: dram_queues non-empty
+        self._wb_active: Set[int] = set()  # channels: pending writebacks
+        self._xbar_active: Set[int] = set()  # SMs: sm_buffers non-empty
+        self._busy_channels: Set[int] = set()  # channels with DRAM/PIM in flight
+        self._mc_active: Set[int] = set(range(config.num_channels))
+        self._sm_active: Set[int] = set()
+        # Sleeping controllers (kind 0) / SMs (kind 1) with a self-scheduled
+        # future event; entries are lazy-deleted (stale wakes are no-ops).
+        self._wake_heap: List[Tuple[int, int, int]] = []
+        for ch in range(config.num_channels):
+            self._watch_buffer(self.input_buffers[ch], self._l2_active, ch)
+            self._watch_buffer(self.dram_queues[ch], self._ingress_active, ch)
+        for i, buffer in enumerate(self.sm_buffers):
+            self._watch_buffer(buffer, self._xbar_active, i)
+
+        # -- observability (repro.perf) ------------------------------------
+        self.perf = None  # optional repro.perf.counters.EngineCounters
+        self.steps_executed = 0
+        self.cycles_skipped = 0
+        self._stages = (
+            ("completions", self._stage_completions),
+            ("replies", self._stage_replies),
+            ("controllers", self._stage_controllers),
+            ("mc_ingress", self._stage_mc_ingress),
+            ("l2", self._stage_l2),
+            ("writebacks", self._stage_writebacks),
+            ("crossbar", self._stage_crossbar),
+            ("sms", self._stage_sms),
+            ("kernel_completion", self._stage_kernel_completion),
+        )
+
+    def _watch_buffer(self, buffer: VCBuffer, active_set: Set[int], key: int) -> None:
+        def on_push() -> None:
+            self._backlog += 1
+            active_set.add(key)
+
+        def on_pop() -> None:
+            self._backlog -= 1
+            if not buffer:
+                active_set.discard(key)
+
+        buffer.watch(on_push, on_pop)
 
     # -- kernel management -------------------------------------------------
 
@@ -192,12 +267,13 @@ class GPUSystem:
             raise ValueError(
                 f"not enough free SMs: requested {num_sms}, available {len(self._free_sms)}"
             )
-        indices = [self._free_sms.pop(0) for _ in range(num_sms)]
+        indices = [self._free_sms.popleft() for _ in range(num_sms)]
         run = KernelRun(spec, self._next_kernel_id, indices, loop)
         self._next_kernel_id += 1
         self.runs.append(run)
         self._kernel_inflight[run.kernel_id] = 0
         self._injected[run.kernel_id] = 0
+        self._awaiting_first += 1
         return run
 
     def _launch(self, run: KernelRun) -> None:
@@ -215,15 +291,25 @@ class GPUSystem:
         run.instance = KernelInstance(run.spec, ctx, run.kernel_id, seed=self.seed)
         for slot, sm_index in enumerate(run.sm_indices):
             self.sms[sm_index].attach(run.instance, slot, self.cycle)
+        self._sm_active.update(run.sm_indices)
         run.running = True
 
     # -- per-cycle stages -----------------------------------------------------
 
     def _stage_completions(self) -> None:
+        busy = self._busy_channels
+        if not busy:
+            return
         cycle = self.cycle
-        for ch, controller in enumerate(self.controllers):
-            for request in controller.pop_completed(cycle):
-                self._handle_completion(ch, request, cycle)
+        for ch in sorted(busy):
+            controller = self.controllers[ch]
+            done = controller.pop_completed(cycle)
+            if done:
+                self._mc_active.add(ch)  # pop_completed marked it dirty
+                for request in done:
+                    self._handle_completion(ch, request, cycle)
+            if not controller.channel.mem_in_flight() and not controller.pim_exec.in_flight():
+                busy.discard(ch)
 
     def _handle_completion(self, ch: int, request: Request, cycle: int) -> None:
         if request.is_writeback:
@@ -235,6 +321,8 @@ class GPUSystem:
             waiting, writeback = self.l2_slices[ch].install(request)
             if writeback is not None:
                 self.writebacks[ch].append(writeback)
+                self._backlog += 1
+                self._wb_active.add(ch)
             for waiter in waiting:
                 self._schedule_reply(waiter, cycle + self.config.reply_latency)
         else:  # pragma: no cover - every DRAM load is a fill in this model
@@ -247,38 +335,62 @@ class GPUSystem:
     def _stage_replies(self) -> None:
         cycle = self.cycle
         heap = self._reply_heap
+        if not heap or heap[0][0] > cycle:
+            return
+        sm_active = self._sm_active
         while heap and heap[0][0] <= cycle:
             _, _, request = heapq.heappop(heap)
             self.sms[request.source].receive_reply(request, cycle)
+            sm_active.add(request.source)  # receive_reply marked it dirty
             self._finish_request(request)
 
     def _finish_request(self, request: Request) -> None:
         self._kernel_inflight[request.kernel_id] -= 1
 
     def _stage_controllers(self) -> None:
+        active = self._mc_active
+        if not active:
+            return
         cycle = self.cycle
-        for controller in self.controllers:
-            controller.tick(cycle)
+        controllers = self.controllers
+        wake_heap = self._wake_heap
+        for ch in sorted(active):
+            controller = controllers[ch]
+            if controller.tick(cycle) is not None:
+                self._busy_channels.add(ch)
+            if controller._dirty:
+                continue  # must re-evaluate next cycle
+            wake = controller.next_wake_cycle(cycle)
+            if wake <= cycle + 1:
+                continue
+            active.discard(ch)
+            if wake < NEVER:
+                heapq.heappush(wake_heap, (wake, 0, ch))
 
     def _stage_mc_ingress(self) -> None:
         """Move one request per channel from the L2->DRAM queue into the MC."""
+        active = self._ingress_active
+        if not active:
+            return
         cycle = self.cycle
-        for ch, queue in enumerate(self.dram_queues):
-            if not queue:
-                continue
+        for ch in sorted(active):
+            queue = self.dram_queues[ch]
             controller = self.controllers[ch]
             for head in queue.heads():
                 if controller.can_accept(head):
                     queue.pop_matching(head)
                     controller.enqueue(head, cycle)
+                    self._mc_active.add(ch)  # enqueue marked it dirty
                     break
 
     def _stage_l2(self) -> None:
         """Per channel, sink one request from the interconnect->L2 queue."""
+        active = self._l2_active
+        if not active:
+            return
         cycle = self.cycle
-        for ch, buffer in enumerate(self.input_buffers):
-            if not buffer:
-                continue
+        for ch in sorted(active):
+            buffer = self.input_buffers[ch]
             slice_ = self.l2_slices[ch]
             dram_queue = self.dram_queues[ch]
             for head in buffer.heads():
@@ -306,23 +418,40 @@ class GPUSystem:
                     break
 
     def _stage_writebacks(self) -> None:
-        for ch, pending in enumerate(self.writebacks):
-            if not pending:
-                continue
+        active = self._wb_active
+        if not active:
+            return
+        for ch in sorted(active):
+            pending = self.writebacks[ch]
             queue = self.dram_queues[ch].queue(Mode.MEM)
             if not queue.full:
                 queue.try_push(pending.popleft())
+                self._backlog -= 1
+                if not pending:
+                    active.discard(ch)
 
     def _stage_crossbar(self) -> None:
         if self.mesh is not None:
-            self.mesh.step(self.sm_buffers, self.input_buffers)
-        else:
-            self.crossbar.step(self.sm_buffers, self.input_buffers)
+            # The fabric must also run with empty SM buffers while flits
+            # are still in flight between routers.
+            if self._xbar_active or self.mesh.occupancy:
+                self.mesh.step(self.sm_buffers, self.input_buffers)
+        elif self._xbar_active:
+            self.crossbar.step(
+                self.sm_buffers, self.input_buffers, sorted(self._xbar_active)
+            )
 
     def _stage_sms(self) -> None:
+        active = self._sm_active
+        if not active:
+            return
         cycle = self.cycle
-        for sm in self.sms:
-            if sm.idle:
+        sms = self.sms
+        wake_heap = self._wake_heap
+        for i in sorted(active):
+            sm = sms[i]
+            if sm.instance is None:
+                active.discard(i)
                 continue
             before = sm.requests_injected
             issued = sm.step(cycle)
@@ -331,19 +460,28 @@ class GPUSystem:
                 kernel_id = sm.instance.kernel_id
                 self._injected[kernel_id] += issued
                 self._kernel_inflight[kernel_id] += issued
+            if sm._dirty:
+                continue  # a reply arrived while stepping
+            wake = sm.next_event_cycle()
+            if wake <= cycle + 1:
+                continue
+            active.discard(i)
+            heapq.heappush(wake_heap, (wake, 1, i))
 
     def _stage_kernel_completion(self) -> None:
         cycle = self.cycle
         for run in self.runs:
             if not run.running:
                 continue
-            sms_done = all(self.sms[i].is_done(cycle) for i in run.sm_indices)
-            if not sms_done or self._kernel_inflight[run.kernel_id] != 0:
+            if self._kernel_inflight[run.kernel_id] != 0:
+                continue
+            if not all(self.sms[i].is_done(cycle) for i in run.sm_indices):
                 continue
             run.instance.cycle_finished = cycle
             duration = run.instance.duration
             if run.first_duration is None:
                 run.first_duration = duration
+                self._awaiting_first -= 1
             run.completions += 1
             run.running = False
             if run.loop:
@@ -361,18 +499,79 @@ class GPUSystem:
 
     def step(self) -> None:
         """Advance the whole system by one cycle."""
-        if self.timeline is not None and self.timeline.due(self.cycle):
-            self.timeline.sample(self, self.cycle)
-        self._stage_completions()
-        self._stage_replies()
-        self._stage_controllers()
-        self._stage_mc_ingress()
-        self._stage_l2()
-        self._stage_writebacks()
-        self._stage_crossbar()
-        self._stage_sms()
-        self._stage_kernel_completion()
-        self.cycle += 1
+        cycle = self.cycle
+        wakes = self._wake_heap
+        while wakes and wakes[0][0] <= cycle:
+            _, kind, index = heapq.heappop(wakes)
+            (self._sm_active if kind else self._mc_active).add(index)
+        if self.timeline is not None and self.timeline.due(cycle):
+            self.timeline.sample(self, cycle)
+        if self.perf is None:
+            self._stage_completions()
+            self._stage_replies()
+            self._stage_controllers()
+            self._stage_mc_ingress()
+            self._stage_l2()
+            self._stage_writebacks()
+            self._stage_crossbar()
+            self._stage_sms()
+            self._stage_kernel_completion()
+        else:
+            clock = self.perf.clock
+            add = self.perf.add
+            for name, stage in self._stages:
+                start = clock()
+                stage()
+                add(name, clock() - start)
+        self.steps_executed += 1
+        self.cycle = cycle + 1
+
+    def _quiescent(self) -> bool:
+        """No buffered work and no component that can act next cycle."""
+        if self._backlog or self._mc_active or self._sm_active:
+            return False
+        return self.mesh is None or not self.mesh.occupancy
+
+    def _fast_forward_clock(self, limit: int) -> None:
+        """Jump the clock to the next scheduled event (system is quiescent).
+
+        Every skipped cycle would have been a no-op step: components only
+        act on buffered work (none — active sets empty), at a self-scheduled
+        wake (on the wake heap), or on a completion/reply event (bounded
+        below by the respective heads).  Timeline sampling caps the jump at
+        the next due sample so the sample series is unchanged.
+        """
+        cycle = self.cycle
+        target = limit
+        replies = self._reply_heap
+        if replies and replies[0][0] < target:
+            target = replies[0][0]
+        wakes = self._wake_heap
+        if wakes and wakes[0][0] < target:
+            target = wakes[0][0]
+        for ch in self._busy_channels:
+            head = self.channels[ch].next_completion_cycle()
+            if head is not None and head < target:
+                target = head
+            head = self.pim_execs[ch].next_completion_cycle()
+            if head is not None and head < target:
+                target = head
+        timeline = self.timeline
+        if timeline is not None:
+            remainder = cycle % timeline.interval
+            due = cycle if remainder == 0 else cycle + timeline.interval - remainder
+            if due < target:
+                target = due
+        if target > cycle:
+            self.cycles_skipped += target - cycle
+            self.cycle = target
+
+    def enable_perf_counters(self) -> "EngineCounters":
+        """Attach per-stage wall-clock counters (see :mod:`repro.perf`)."""
+        from repro.perf.counters import EngineCounters
+
+        self.perf = EngineCounters()
+        return self.perf
 
     def run(
         self,
@@ -389,10 +588,13 @@ class GPUSystem:
             raise ValueError("no kernels added")
         for run in self.runs:
             self._launch(run)
+        fast = self.fast_forward
         while self.cycle < max_cycles:
             self.step()
-            if until_all_complete_once and all(r.first_duration is not None for r in self.runs):
+            if until_all_complete_once and not self._awaiting_first:
                 break
+            if fast and self._quiescent():
+                self._fast_forward_clock(max_cycles)
         for controller in self.controllers:
             controller.finalize(self.cycle)
         return self._collect_results()

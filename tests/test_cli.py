@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -67,6 +69,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mc_rate" in out
         assert "PIM" in out
+
+    def test_bench_stdout(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--scenarios", "corun_horizon",
+                "--no-stages",
+                "--scale", "0.05",
+                "--channels", "4",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        fast = payload["scenarios"]["corun_horizon"]["fast"]
+        assert fast["cycles"] > 0
+        assert fast["cycles_per_sec"] > 0
+
+    def test_bench_writes_file(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        code = main(
+            [
+                "bench",
+                "--scenarios", "corun_horizon",
+                "--no-stages",
+                "--scale", "0.05",
+                "--channels", "4",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "corun_horizon" in payload["scenarios"]
+        assert "cyc/s" in capsys.readouterr().out
+
+    def test_profile_flag(self, capsys):
+        assert main(["--profile", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian" in out
+        assert "function calls" in out
 
     def test_figure_fig11_subset(self, capsys):
         code = main(

@@ -1,0 +1,132 @@
+"""Bit-exact equivalence of the event-driven engine vs the naive loop.
+
+The engine's fast-forward contract (docs/performance.md) promises that
+jumping the clock over quiescent windows is unobservable: every skipped
+cycle would have been a no-op.  These tests run the same scenario twice —
+``fast_forward=True`` and ``False`` — and require the *entire* ``SimResult``
+(durations, mode cycles, drain latencies, row outcomes, NoC rejects, ...)
+to be identical, plus the timeline sample series when one is attached.
+
+Scenarios cover both paper configurations (VC1/VC2), the headline
+policies (FR-FCFS and F3FS) plus the two stateful time-driven policies
+(BLISS blacklist clearing, Dyn-F3FS epoch adaptation), refresh on and
+off, and the mesh topology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.policies import PolicySpec
+from repro.request import reset_request_ids
+from repro.sim.system import GPUSystem
+from repro.workloads import get_gpu_kernel, get_pim_kernel
+
+MAX_CYCLES = 60_000
+
+
+def _build(
+    fast: bool,
+    vcs: int = 1,
+    policy: str = "FR-FCFS",
+    refresh: bool = False,
+    gpu: str = "G17",
+    pim: str = "P1",
+    loop_pim: bool = True,
+    topology: str = "crossbar",
+    timeline: bool = False,
+) -> GPUSystem:
+    reset_request_ids()
+    config = SystemConfig.scaled(
+        num_channels=4, num_sms=4, noc_queue_size=32, banks_per_channel=8
+    )
+    config = config.replace(
+        num_virtual_channels=vcs, refresh_enabled=refresh, noc_topology=topology
+    )
+    system = GPUSystem(
+        config, PolicySpec(policy), seed=1, scale=0.08, fast_forward=fast
+    )
+    system.add_kernel(get_gpu_kernel(gpu), num_sms=2)
+    if pim is not None:
+        system.add_kernel(get_pim_kernel(pim), num_sms=2, loop=loop_pim)
+    if timeline:
+        system.attach_timeline(interval=100)
+    return system
+
+
+SCENARIOS = {
+    "vc1_frfcfs_corun": dict(vcs=1, policy="FR-FCFS"),
+    "vc2_f3fs_corun": dict(vcs=2, policy="F3FS"),
+    "vc1_refresh_gpu_only": dict(
+        vcs=1, policy="FR-FCFS", refresh=True, pim=None, gpu="G10"
+    ),
+    "vc2_bliss_corun": dict(vcs=2, policy="BLISS"),
+    "vc2_dynf3fs_corun": dict(vcs=2, policy="Dyn-F3FS"),
+    "vc1_finite_corun_tail": dict(vcs=1, policy="FR-FCFS", gpu="G10", loop_pim=False),
+    "vc2_mesh_corun": dict(vcs=2, policy="F3FS", topology="mesh"),
+    "vc1_timeline_gpu_only": dict(
+        vcs=1, policy="FR-FCFS", pim=None, gpu="G10", timeline=True
+    ),
+}
+
+
+def _result_dict(system: GPUSystem):
+    result = system.run(max_cycles=MAX_CYCLES)
+    return dataclasses.asdict(result), system
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fast_forward_is_bit_identical(name):
+    kwargs = SCENARIOS[name]
+    naive, naive_system = _result_dict(_build(False, **kwargs))
+    fast, fast_system = _result_dict(_build(True, **kwargs))
+    assert fast == naive
+    if kwargs.get("timeline"):
+        naive_samples = [dataclasses.asdict(s) for s in naive_system.timeline.samples]
+        fast_samples = [dataclasses.asdict(s) for s in fast_system.timeline.samples]
+        assert fast_samples == naive_samples
+
+
+def test_fast_forward_actually_skips_cycles():
+    # The finite co-run leaves a quiescent tail inside the cycle horizon;
+    # the fast engine must jump it rather than tick through it.
+    system = _build(True, vcs=1, policy="FR-FCFS", gpu="G10", loop_pim=False)
+    system.run(max_cycles=MAX_CYCLES, until_all_complete_once=False)
+    assert system.cycles_skipped > 0
+    assert system.steps_executed + system.cycles_skipped == system.cycle
+
+
+def test_naive_mode_never_skips():
+    system = _build(False, vcs=1, policy="FR-FCFS", gpu="G10", loop_pim=False)
+    system.run(max_cycles=20_000, until_all_complete_once=False)
+    assert system.cycles_skipped == 0
+    assert system.steps_executed == system.cycle
+
+
+def test_env_var_escape_hatch(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_FORWARD", "0")
+    assert _build(None).fast_forward is False
+    monkeypatch.setenv("REPRO_FAST_FORWARD", "1")
+    assert _build(None).fast_forward is True
+    monkeypatch.delenv("REPRO_FAST_FORWARD")
+    assert _build(None).fast_forward is True
+    # The explicit constructor argument always wins over the environment.
+    monkeypatch.setenv("REPRO_FAST_FORWARD", "0")
+    assert _build(True).fast_forward is True
+
+
+def test_refresh_statistics_survive_fast_forward():
+    # Refresh issue counts are timing-sensitive: a drifted clock would
+    # change how many refreshes fit in the run.
+    kwargs = dict(vcs=1, policy="FR-FCFS", refresh=True, pim=None, gpu="G10")
+    counts = []
+    for fast in (False, True):
+        system = _build(fast, **kwargs)
+        system.run(max_cycles=MAX_CYCLES, until_all_complete_once=False)
+        counts.append(
+            tuple(c.refresh.stats.refreshes_issued for c in system.controllers)
+        )
+    assert counts[0] == counts[1]
