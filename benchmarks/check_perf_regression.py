@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Perf-regression guard for the scheduler-bound benchmark scenario.
+
+Runs the ``saturated_corun`` scenario (deep MEM queues every cycle — the
+workload the indexed per-bank scheduler exists for) and fails if its
+throughput drops below ``THRESHOLD`` of the committed baseline in
+``benchmarks/results/BENCH_engine.json``.  The 30% allowance absorbs
+CI-runner noise (shared machines, frequency scaling, cold first run)
+while still catching the kind of regression that matters: an accidental
+return to O(queue) scans shows up as a 2x+ slowdown, not 30%.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+
+Exit status 0 on pass, 1 on regression (or a missing baseline entry).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.perf.bench import run_engine_bench
+
+SCENARIO = "saturated_corun"
+THRESHOLD = 0.70  # fail below 70% of the committed baseline
+BASELINE_PATH = Path(__file__).parent / "results" / "BENCH_engine.json"
+REPEATS = 3  # best-of-N: the guard asks "can it still go fast", not "mean"
+
+
+def main() -> int:
+    baseline_doc = json.loads(BASELINE_PATH.read_text())
+    try:
+        baseline = baseline_doc["scenarios"][SCENARIO]["fast"]["cycles_per_sec"]
+    except KeyError:
+        print(f"FAIL: no '{SCENARIO}' baseline in {BASELINE_PATH}")
+        return 1
+
+    best = 0.0
+    for _ in range(REPEATS):
+        payload = run_engine_bench(
+            scenario_names=[SCENARIO], compare_naive=False, stage_breakdown=False
+        )
+        best = max(best, payload["scenarios"][SCENARIO]["fast"]["cycles_per_sec"])
+
+    floor = THRESHOLD * baseline
+    verdict = "PASS" if best >= floor else "FAIL"
+    print(
+        f"{verdict}: {SCENARIO} best-of-{REPEATS} {best:.1f} cyc/s "
+        f"vs baseline {baseline:.1f} (floor {floor:.1f} = {THRESHOLD:.0%})"
+    )
+    return 0 if best >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,11 @@
 """Engine throughput smoke test (writes ``BENCH_engine.json``).
 
 Not a paper figure: this benchmarks the *simulator*, not the simulated
-machine.  It times the two reference scenarios from
-:mod:`repro.perf.bench` — a fixed-window co-run with a quiescent tail
-(fast-forward territory) and a fully saturated co-run (active-set busy
-path) — and records simulated cycles per wall-clock second plus the
+machine.  It times the reference scenarios from :mod:`repro.perf.bench`
+— a fixed-window co-run with a quiescent tail (fast-forward territory)
+and two fully saturated co-runs (the active-set busy path, and the
+scheduler-bound ``saturated_corun`` regime targeted by the per-bank
+index) — and records simulated cycles per wall-clock second plus the
 per-stage breakdown into ``benchmarks/results/BENCH_engine.json``.
 
 The companion correctness guarantee (fast and naive runs bit-identical)
@@ -28,6 +29,7 @@ def test_engine_throughput(benchmark, results_dir):
     scenarios = payload["scenarios"]
     horizon = scenarios["corun_horizon"]
     saturated = scenarios["corun_saturated"]
+    scheduler_bound = scenarios["saturated_corun"]
 
     # Both engines simulated the same number of cycles (the bench itself
     # asserts this; re-check the recorded payload).
@@ -37,8 +39,11 @@ def test_engine_throughput(benchmark, results_dir):
     # window must be jumped, not stepped.
     assert horizon["fast"]["cycles_skipped"] > horizon["fast"]["cycles"] // 2
 
-    # The saturated co-run never quiesces — nothing to skip.
+    # The saturated co-runs never quiesce for long — (almost) nothing to
+    # skip.  saturated_corun re-launches both kernels, so a handful of
+    # single-cycle jumps can occur around launch boundaries.
     assert saturated["fast"]["cycles_skipped"] == 0
+    assert scheduler_bound["fast"]["cycles_skipped"] < 100
 
     # Per-stage breakdown covers the whole pipeline.
     assert set(saturated["stages"]) == {

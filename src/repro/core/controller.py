@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional
 
+from repro.core.memq import BankIndexedMemQueue
 from repro.core.policies.base import SchedulingPolicy
 from repro.dram.channel import Channel
 from repro.dram.refresh import RefreshTimer
@@ -103,7 +104,11 @@ class MemoryController:
         )
         self._refresh_until = 0
 
-        self.mem_queue: List[Request] = []
+        # MEM requests live in a per-bank index (arrival order per bank and
+        # per open row) so FR-FCFS-family decisions cost O(banks with work)
+        # instead of O(queue).  It is list-compatible for read access:
+        # truthiness, len(), [0], and arrival-order iteration.
+        self.mem_queue = BankIndexedMemQueue(len(channel.banks))
         self.pim_queue: Deque[Request] = deque()
         self.mode: Mode = Mode.MEM
         self.stats = ControllerStats()
@@ -163,7 +168,7 @@ class MemoryController:
     # -- views used by policies ----------------------------------------------
 
     def oldest_overall(self) -> Optional[Request]:
-        mem_head = self.mem_queue[0] if self.mem_queue else None
+        mem_head = self.mem_queue.head()
         pim_head = self.pim_queue[0] if self.pim_queue else None
         if mem_head is None:
             return pim_head
@@ -172,7 +177,13 @@ class MemoryController:
         return mem_head if mem_head.mc_seq < pim_head.mc_seq else pim_head
 
     def issuable_mem(self, cycle: int, exclude_conflict_banks: bool = False) -> Iterator[Request]:
-        """MEM requests whose bank can accept a new request this cycle."""
+        """MEM requests whose bank can accept a new request this cycle.
+
+        Reference scan in arrival order.  The FR-FCFS-family policies use
+        the per-bank index directly (``mem_queue.bank_head`` /
+        ``row_head``); this view is kept for custom policies and as the
+        linear-scan oracle in the equivalence suite.
+        """
         banks = self.channel.banks
         for request in self.mem_queue:
             bank = banks[request.bank]
@@ -183,6 +194,7 @@ class MemoryController:
             yield request
 
     def mem_requests_by_bank(self) -> Dict[int, List[Request]]:
+        """Arrival-ordered requests per bank (reference/debug view)."""
         by_bank: Dict[int, List[Request]] = {}
         for request in self.mem_queue:
             by_bank.setdefault(request.bank, []).append(request)
@@ -325,7 +337,9 @@ class MemoryController:
             return None
         self._dirty = False
 
-        if self._handle_refresh(cycle):
+        # _handle_refresh is a no-op without refresh enabled or a REF in
+        # progress; skip the call on the (default) refresh-free hot path.
+        if (self.refresh.enabled or cycle < self._refresh_until) and self._handle_refresh(cycle):
             return None
 
         if self.is_switching:
@@ -354,6 +368,7 @@ class MemoryController:
             self.mem_queue.remove(request)
             self.channel.issue_mem(request, cycle)
             self.channel.banks[request.bank].state.issued_since_switch = True
+            self.pim_exec.note_mem_issue(request)
             self._attribute_post_switch_conflict(request)
             self.stats.mem_issued += 1
         else:  # "pim"

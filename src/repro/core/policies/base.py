@@ -91,15 +91,33 @@ class SchedulingPolicy(abc.ABC):
 
     @staticmethod
     def frfcfs_pick(ctl: "MemoryController", cycle: int, exclude_conflict_banks: bool = False) -> Optional[Request]:
-        """Row-hit-first, then oldest-first pick among issuable MEM requests."""
+        """Row-hit-first, then oldest-first pick among issuable MEM requests.
+
+        Consumes the controller's per-bank index: per issuable bank, the
+        oldest request is the bank-deque head and the oldest row hit is the
+        head of the open row's deque, so the pick costs O(banks with work)
+        instead of O(queue).  ``mc_seq`` is unique per controller, so the
+        global minima — and therefore the decision — are identical to a
+        linear scan of the queue (``tests/test_scheduler_equivalence.py``).
+        """
+        mem_queue = ctl.mem_queue
+        banks = ctl.channel.banks
         best_hit: Optional[Request] = None
         best_any: Optional[Request] = None
-        for request in ctl.issuable_mem(cycle, exclude_conflict_banks=exclude_conflict_banks):
-            if ctl.channel.is_row_hit(request):
-                if best_hit is None or request.mc_seq < best_hit.mc_seq:
-                    best_hit = request
-            if best_any is None or request.mc_seq < best_any.mc_seq:
-                best_any = request
+        for bank_index in mem_queue.banks_with_work():
+            state = banks[bank_index].state
+            if cycle < state.accept_at:
+                continue
+            if exclude_conflict_banks and state.conflict_bit:
+                continue
+            head = mem_queue.bank_head(bank_index)
+            if best_any is None or head.mc_seq < best_any.mc_seq:
+                best_any = head
+            open_row = state.open_row
+            if open_row is not None:
+                hit = mem_queue.row_head(bank_index, open_row)
+                if hit is not None and (best_hit is None or hit.mc_seq < best_hit.mc_seq):
+                    best_hit = hit
         return best_hit if best_hit is not None else best_any
 
     @staticmethod

@@ -54,10 +54,49 @@ class BLISS(SchedulingPolicy):
         self._maybe_clear(cycle)
         best: Optional[Request] = None
         best_score = None
-        for request in ctl.issuable_mem(cycle):
-            score = self._score(ctl, request, ctl.channel.is_row_hit(request))
+        # Per-bank candidates from the controller's index.  For the score
+        # (blacklisted, not-hit, age) the per-bank minimum is always among:
+        # the oldest non-blacklisted request, the oldest non-blacklisted
+        # hit on the open row, or — when the whole bank is blacklisted —
+        # the unfiltered equivalents.  With an empty blacklist both
+        # lookups are O(1) deque heads, matching FR-FCFS cost.
+        blacklist = self.blacklist
+        mem_queue = ctl.mem_queue
+        banks = ctl.channel.banks
+        pred = None
+        if blacklist:
+            pred = lambda r: r.kernel_id not in blacklist  # noqa: E731
+        for bank_index in mem_queue.banks_with_work():
+            state = banks[bank_index].state
+            if cycle < state.accept_at:
+                continue
+            open_row = state.open_row
+            cand_any = mem_queue.bank_oldest(bank_index, pred)
+            if cand_any is not None:
+                cand_hit = (
+                    mem_queue.row_oldest(bank_index, open_row, pred)
+                    if open_row is not None
+                    else None
+                )
+            else:
+                # Every pending request in this bank is blacklisted.
+                cand_any = mem_queue.bank_head(bank_index)
+                cand_hit = (
+                    mem_queue.row_head(bank_index, open_row)
+                    if open_row is not None
+                    else None
+                )
+            if cand_hit is not None:
+                score = (cand_hit.kernel_id in blacklist, False, cand_hit.mc_seq)
+                if best_score is None or score < best_score:
+                    best, best_score = cand_hit, score
+            score = (
+                cand_any.kernel_id in blacklist,
+                cand_any.row != open_row,
+                cand_any.mc_seq,
+            )
             if best_score is None or score < best_score:
-                best, best_score = request, score
+                best, best_score = cand_any, score
         if ctl.pim_queue:
             head = ctl.pim_queue[0]
             head_hit = not ctl.pim_exec.would_switch_row(head)

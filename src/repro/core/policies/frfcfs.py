@@ -50,27 +50,36 @@ class FRFCFS(SchedulingPolicy):
         return Decision.mem(pick) if pick is not None else IDLE
 
     def _update_conflict_bits(self, ctl, cycle) -> None:
-        """Set the conflict bit on banks whose best request is a conflict."""
-        channel = ctl.channel
-        pending = ctl.mem_requests_by_bank()
-        for bank_index, requests in pending.items():
-            bank = channel.banks[bank_index]
-            if bank.state.conflict_bit:
+        """Set the conflict bit on banks whose best request is a conflict.
+
+        A bank has a pending row hit iff the per-bank index holds a live
+        request for its open row — an O(1) lookup per bank, equivalent to
+        scanning the bank's pending requests.
+        """
+        banks = ctl.channel.banks
+        mem_queue = ctl.mem_queue
+        for bank_index in mem_queue.banks_with_work():
+            state = banks[bank_index].state
+            if state.conflict_bit:
                 continue
-            if not bank.state.issued_since_switch:
+            if not state.issued_since_switch:
                 continue  # the bank gets one activation per mode phase
-            if any(bank.is_row_hit(r.row) for r in requests):
-                continue
-            if bank.open_row is None:
+            open_row = state.open_row
+            if open_row is None:
                 continue  # a miss, not a conflict
-            bank.state.conflict_bit = True
+            if mem_queue.row_head(bank_index, open_row) is not None:
+                continue  # a pending hit: the bank is not stalled
+            state.conflict_bit = True
 
     @staticmethod
     def _all_pending_banks_stalled(ctl) -> bool:
-        pending = ctl.mem_requests_by_bank()
-        if not pending:
-            return False
-        return all(ctl.channel.banks[b].state.conflict_bit for b in pending)
+        banks = ctl.channel.banks
+        pending = False
+        for bank_index in ctl.mem_queue.banks_with_work():
+            pending = True
+            if not banks[bank_index].state.conflict_bit:
+                return False
+        return pending
 
     # -- PIM mode -----------------------------------------------------------
 

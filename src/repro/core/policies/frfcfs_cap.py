@@ -26,8 +26,7 @@ class FRFCFSCap(SchedulingPolicy):
         self._bypasses = 0
         self._oldest_seq = -1
 
-    def _note_oldest(self, ctl) -> None:
-        oldest = ctl.oldest_overall()
+    def _note_oldest(self, oldest) -> None:
         seq = oldest.mc_seq if oldest is not None else -1
         if seq != self._oldest_seq:
             self._oldest_seq = seq
@@ -37,8 +36,9 @@ class FRFCFSCap(SchedulingPolicy):
         fallback = self.fallback_when_empty(ctl)
         if fallback is not None:
             return fallback
-        self._note_oldest(ctl)
+        # oldest_overall is O(1) against the controller's age index.
         oldest = ctl.oldest_overall()
+        self._note_oldest(oldest)
         if oldest is None:
             return IDLE
 

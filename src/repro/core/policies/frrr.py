@@ -64,26 +64,36 @@ class FRRRFCFS(SchedulingPolicy):
 
     @staticmethod
     def _update_conflict_bits(ctl) -> None:
-        """Stall banks whose best pending request is a row conflict."""
-        channel = ctl.channel
-        for bank_index, requests in ctl.mem_requests_by_bank().items():
-            bank = channel.banks[bank_index]
-            if bank.state.conflict_bit:
+        """Stall banks whose best pending request is a row conflict.
+
+        Same O(banks-with-work) index walk as FR-FCFS: the bank has a
+        pending hit iff the per-bank index holds a live request for its
+        open row.
+        """
+        banks = ctl.channel.banks
+        mem_queue = ctl.mem_queue
+        for bank_index in mem_queue.banks_with_work():
+            state = banks[bank_index].state
+            if state.conflict_bit:
                 continue
-            if not bank.state.issued_since_switch:
+            if not state.issued_since_switch:
                 continue  # the bank gets one activation per mode phase
-            if bank.open_row is None:
+            open_row = state.open_row
+            if open_row is None:
                 continue  # a miss, not a conflict
-            if any(bank.is_row_hit(r.row) for r in requests):
+            if mem_queue.row_head(bank_index, open_row) is not None:
                 continue
-            bank.state.conflict_bit = True
+            state.conflict_bit = True
 
     @staticmethod
     def _all_pending_banks_stalled(ctl) -> bool:
-        pending = ctl.mem_requests_by_bank()
-        if not pending:
-            return False
-        return all(ctl.channel.banks[b].state.conflict_bit for b in pending)
+        banks = ctl.channel.banks
+        pending = False
+        for bank_index in ctl.mem_queue.banks_with_work():
+            pending = True
+            if not banks[bank_index].state.conflict_bit:
+                return False
+        return pending
 
     # -- PIM mode -----------------------------------------------------------
 

@@ -68,6 +68,28 @@ class AddressMapper:
         self.row_bits = len(positions["row"])
         self.column_bits = len(positions["column"])
 
+        # Compile each field's bit positions into contiguous runs of
+        # (field_shift, address_shift, mask) so encode/decode are a handful
+        # of shift/mask ops instead of a per-bit loop.  A run covers address
+        # bits [addr_shift, addr_shift + width) holding field-value bits
+        # [field_shift, field_shift + width).
+        self._field_runs: Dict[str, List[Tuple[int, int, int]]] = {}
+        for name, bits in positions.items():
+            runs: List[Tuple[int, int, int]] = []
+            i = 0
+            width = len(bits)
+            while i < width:
+                j = i
+                while j + 1 < width and bits[j + 1] == bits[j] - 1:
+                    j += 1
+                run_width = j - i + 1
+                field_shift = width - 1 - j  # LSB of the run within the field
+                runs.append((field_shift, bits[j], (1 << run_width) - 1))
+                i = j + 1
+            self._field_runs[name] = runs
+        self._base_mask = (1 << self.total_bits) - 1
+        self._row_mask = (1 << self.row_bits) - 1
+
     @property
     def num_channels(self) -> int:
         return 1 << self.channel_bits
@@ -86,15 +108,15 @@ class AddressMapper:
 
     def _extract(self, address: int, field: str) -> int:
         value = 0
-        for bit in self._positions[field]:
-            value = (value << 1) | ((address >> bit) & 1)
+        for field_shift, addr_shift, mask in self._field_runs[field]:
+            value |= ((address >> addr_shift) & mask) << field_shift
         return value
 
     def decode(self, address: int) -> DecodedAddress:
         """Split a flat byte address into DRAM coordinates."""
         if address < 0:
             raise ValueError("address must be non-negative")
-        base = address & ((1 << self.total_bits) - 1)
+        base = address & self._base_mask
         extra_row = address >> self.total_bits  # overflow bits extend the row
         return DecodedAddress(
             channel=self._extract(base, "channel"),
@@ -105,33 +127,44 @@ class AddressMapper:
 
     def encode(self, channel: int, bank: int, row: int, column: int) -> int:
         """Compose DRAM coordinates back into a flat byte address."""
-        fields = {"channel": channel, "bank": bank, "row": row, "column": column}
-        for name, value in fields.items():
-            if value < 0:
-                raise ValueError(f"{name} must be non-negative")
-        for name in ("channel", "bank", "column"):
-            width = len(self._positions[name])
-            if fields[name] >= (1 << width):
-                raise ValueError(f"{name}={fields[name]} exceeds {width} bits")
-        extra_row = row >> self.row_bits
-        fields["row"] = row & ((1 << self.row_bits) - 1)
+        if channel < 0 or bank < 0 or row < 0 or column < 0:
+            raise ValueError("channel/bank/row/column must be non-negative")
+        if channel >> self.channel_bits:
+            raise ValueError(f"channel={channel} exceeds {self.channel_bits} bits")
+        if bank >> self.bank_bits:
+            raise ValueError(f"bank={bank} exceeds {self.bank_bits} bits")
+        if column >> self.column_bits:
+            raise ValueError(f"column={column} exceeds {self.column_bits} bits")
 
-        address = extra_row << self.total_bits
-        for name, value in fields.items():
-            bits = self._positions[name]
-            for i, bit in enumerate(bits):
-                # bits[] is MSB-first for the field.
-                field_bit = (value >> (len(bits) - 1 - i)) & 1
-                address |= field_bit << bit
+        runs = self._field_runs
+        address = (row >> self.row_bits) << self.total_bits
+        row &= self._row_mask
+        for field_shift, addr_shift, mask in runs["row"]:
+            address |= ((row >> field_shift) & mask) << addr_shift
+        for field_shift, addr_shift, mask in runs["bank"]:
+            address |= ((bank >> field_shift) & mask) << addr_shift
+        for field_shift, addr_shift, mask in runs["column"]:
+            address |= ((column >> field_shift) & mask) << addr_shift
+        for field_shift, addr_shift, mask in runs["channel"]:
+            address |= ((channel >> field_shift) & mask) << addr_shift
         return address
 
     def assign(self, request) -> None:
-        """Decode ``request.address`` into the request's coordinate fields."""
-        decoded = self.decode(request.address)
-        request.channel = decoded.channel
-        request.bank = decoded.bank
-        request.row = decoded.row
-        request.column = decoded.column
+        """Decode ``request.address`` into the request's coordinate fields.
+
+        This is the *only* place request coordinates are derived; every
+        downstream consumer (L2 slicing, the controller's per-bank index,
+        DRAM issue) reads the cached fields.
+        """
+        address = request.address
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        base = address & self._base_mask
+        extract = self._extract
+        request.channel = extract(base, "channel")
+        request.bank = extract(base, "bank")
+        request.row = extract(base, "row") | ((address >> self.total_bits) << self.row_bits)
+        request.column = extract(base, "column")
 
     def shape(self) -> Tuple[int, int, int, int]:
         return (self.num_channels, self.num_banks, self.num_rows, self.num_columns)

@@ -3,10 +3,12 @@
 The full 20x9x9x2 grid of Figure 8 is thousands of independent
 simulations; this module fans them out over worker processes.  Each task
 is self-contained — (gpu_id, pim_id, policy name+params, vcs, scale) —
-and workers rebuild their own Runner, so nothing unpicklable crosses the
-process boundary.  Standalone baselines are deduplicated inside each
-worker's Runner cache; pass ``cache_path`` to share them across workers
-through the disk cache.
+and each worker process builds one Runner in its initializer and reuses
+it for every task it executes, so nothing unpicklable crosses the
+process boundary and standalone baselines are deduplicated across a
+worker's whole task stream (not just within one task).  Pass
+``cache_path`` to additionally share baselines across workers through
+the disk cache.
 """
 
 from __future__ import annotations
@@ -57,11 +59,23 @@ def make_tasks(
     return tasks
 
 
-def _run_task(args: Tuple[GridTask, Dict, Optional[str]]) -> Dict:
+#: Per-process Runner, created once by :func:`_init_worker` and shared by
+#: every task the worker executes (its in-memory caches deduplicate the
+#: standalone baselines the tasks have in common).
+_WORKER_RUNNER: Optional[Runner] = None
+
+
+def _init_worker(scale_fields: Dict, cache_path: Optional[str]) -> None:
+    """Process-pool initializer: build this worker's Runner once."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = Runner(ExperimentScale(**scale_fields), cache_path=cache_path)
+
+
+def _run_task(task: GridTask) -> Dict:
     """Worker entry point (module-level for pickling)."""
-    task, scale_fields, cache_path = args
-    runner = Runner(ExperimentScale(**scale_fields), cache_path=cache_path)
-    outcome = runner.competitive(task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs)
+    outcome = _WORKER_RUNNER.competitive(
+        task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs
+    )
     return asdict(outcome)
 
 
@@ -74,11 +88,19 @@ def run_grid_parallel(
     """Run tasks across processes; results come back in task order."""
     if max_workers < 1:
         raise ValueError("max_workers must be positive")
+    global _WORKER_RUNNER
     scale_fields = asdict(scale)
-    payloads = [(task, scale_fields, cache_path) for task in tasks]
     if max_workers == 1:
-        raw = [_run_task(payload) for payload in payloads]
+        _init_worker(scale_fields, cache_path)
+        try:
+            raw = [_run_task(task) for task in tasks]
+        finally:
+            _WORKER_RUNNER = None
     else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            raw = list(pool.map(_run_task, payloads))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(scale_fields, cache_path),
+        ) as pool:
+            raw = list(pool.map(_run_task, tasks))
     return [CompetitiveOutcome(**record) for record in raw]

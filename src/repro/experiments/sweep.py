@@ -5,6 +5,16 @@ BLISS blacklist threshold (Section VI-A), the F3FS CAP pair (Section
 VII-B), and the interconnect queue size (Figure 14b).  These helpers run
 small competitive grids across a parameter range and report the mean
 fairness/throughput for each point.
+
+Each sweep point is a competitive grid, expressed as
+:class:`~repro.experiments.parallel.GridTask` items and executed through
+:func:`~repro.experiments.parallel.run_grid_parallel`: with
+``max_workers > 1`` the points fan out over worker processes that share
+standalone baselines through the runner's disk cache (``cache_path`` /
+``REPRO_CACHE``); with the default ``max_workers=1`` the tasks run
+serially against the caller's runner, reusing its warm in-memory caches.
+Either path computes identical outcomes — the tasks are deterministic
+and independent.
 """
 
 from __future__ import annotations
@@ -12,8 +22,29 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.policies import PolicySpec
-from repro.experiments.runner import Runner
+from repro.experiments.parallel import GridTask, make_tasks, run_grid_parallel
+from repro.experiments.runner import CompetitiveOutcome, Runner
 from repro.metrics.stats import arithmetic_mean
+
+
+def _run_point(
+    runner: Runner,
+    spec: PolicySpec,
+    gpu_subset: Sequence[str],
+    pim_subset: Sequence[str],
+    num_vcs: int,
+    max_workers: int,
+) -> List[CompetitiveOutcome]:
+    """Run one sweep point's competitive grid (gpu x pim) for ``spec``."""
+    tasks: List[GridTask] = make_tasks(gpu_subset, pim_subset, [spec], (num_vcs,))
+    if max_workers > 1:
+        return run_grid_parallel(
+            runner.scale, tasks, max_workers=max_workers, cache_path=runner.cache_path
+        )
+    return [
+        runner.competitive(task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs)
+        for task in tasks
+    ]
 
 
 def sweep_policy_parameter(
@@ -25,6 +56,7 @@ def sweep_policy_parameter(
     pim_subset: Sequence[str],
     num_vcs: int = 2,
     base_params: Optional[Dict] = None,
+    max_workers: int = 1,
 ) -> List[Dict[str, float]]:
     """Sweep one constructor parameter of a policy over a competitive grid.
 
@@ -35,11 +67,7 @@ def sweep_policy_parameter(
         params = dict(base_params or {})
         params[parameter] = value
         spec = PolicySpec(policy_name, **params)
-        runs = [
-            runner.competitive(gid, pid, spec, num_vcs=num_vcs)
-            for gid in gpu_subset
-            for pid in pim_subset
-        ]
+        runs = _run_point(runner, spec, gpu_subset, pim_subset, num_vcs, max_workers)
         rows.append(
             {
                 "value": value,
@@ -56,16 +84,13 @@ def sweep_f3fs_caps(
     gpu_subset: Sequence[str],
     pim_subset: Sequence[str],
     num_vcs: int = 1,
+    max_workers: int = 1,
 ) -> List[Dict[str, float]]:
     """Sweep (MEM CAP, PIM CAP) pairs for F3FS (Section VII-B tuning)."""
     rows: List[Dict[str, float]] = []
     for mem_cap, pim_cap in cap_pairs:
         spec = PolicySpec("F3FS", mem_cap=mem_cap, pim_cap=pim_cap)
-        runs = [
-            runner.competitive(gid, pid, spec, num_vcs=num_vcs)
-            for gid in gpu_subset
-            for pid in pim_subset
-        ]
+        runs = _run_point(runner, spec, gpu_subset, pim_subset, num_vcs, max_workers)
         rows.append(
             {
                 "mem_cap": mem_cap,

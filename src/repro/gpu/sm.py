@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import bisect_left
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
@@ -84,6 +85,14 @@ class SM:
         # Wake-up optimization: skip cycles where no warp can progress.
         self._next_wake = 0
         self._dirty = True
+        # Per-warp event batching: instead of scanning every warp each
+        # step, warps park on a due heap of (cycle, warp_index) entries —
+        # compute-phase ends and reply unblocks — and move into the
+        # issuable set (pending requests, compute done) when their entry
+        # comes due.  Entries are lazy: a popped entry re-checks the
+        # warp's state, so duplicates are harmless no-ops.
+        self._due: List[Tuple[int, int]] = []
+        self._issuable: set = set()
 
     # -- kernel binding ---------------------------------------------------
 
@@ -97,6 +106,10 @@ class SM:
         self._live_warps = len(self.warps)
         for warp in self.warps:
             warp.compute_until = cycle
+        # Every warp must advance its first phase: seed one due entry each.
+        # (Ascending warp index at equal cycles is already a valid heap.)
+        self._due = [(cycle, w) for w in range(warps)]
+        self._issuable = set()
         self.outstanding_loads = 0
         self.finish_cycle = None
         self._next_wake = cycle
@@ -118,92 +131,123 @@ class SM:
     # -- execution -----------------------------------------------------------
 
     def step(self, cycle: int) -> int:
-        """Advance warps and issue up to ``issue_width`` requests.
+        """Advance due warps and issue up to ``issue_width`` requests.
 
         Returns the number of requests pushed into the output buffer.
+        The stage only visits warps with a due event (phase boundary,
+        compute-phase end, reply unblock) plus the issuable set; warps
+        deep in a compute phase or blocked on replies cost nothing.  The
+        visit order — due warps by (cycle, index), issuable warps in
+        round-robin order from ``_issue_rotation`` — matches the previous
+        all-warp scan exactly, so issue sequences are bit-identical.
         """
         if self.instance is None:
             return 0
-        self._deliver_local_replies(cycle)
+        if self._local_replies:
+            self._deliver_local_replies(cycle)
         if not self._dirty and cycle < self._next_wake:
             return 0
         self._dirty = False
-        self._advance_warps(cycle)
+        self._advance_due_warps(cycle)
         issued = 0  # requests injected into the NoC (returned to caller)
         slots = 0  # issue slots consumed, including L1-hit loads
-        num_warps = len(self.warps)
-        base = self._issue_rotation
-        for offset in range(num_warps):
-            if slots >= self.issue_width:
-                break
-            warp = self.warps[(base + offset) % num_warps]
-            if not warp.pending or cycle < warp.compute_until:
-                continue  # still computing: memory phase not reached yet
-            request = warp.pending[0]
-            if request.is_load and self.outstanding_loads >= self.max_outstanding:
-                continue
-            l1_hit = (
-                self.l1 is not None
-                and request.is_load
-                and self.l1.lookup_load(request.address)
-            )
-            if not l1_hit and not self.output.can_push(request):
-                continue
-            warp.pending.popleft()
-            if request.cycle_created < 0:
-                request.cycle_created = cycle
-            request.source = self.index
-            request.warp = warp.index
-            if l1_hit:
-                # Satisfied locally after the L1 hit latency; no NoC trip.
-                self.outstanding_loads += 1
-                if warp.wait_for_replies:
-                    warp.waiting_replies += 1
-                heapq.heappush(
-                    self._local_replies,
-                    (cycle + self.l1_latency, next(self._local_seq), request),
+        issuable = self._issuable
+        if issuable:
+            num_warps = len(self.warps)
+            base = self._issue_rotation
+            # Round-robin over the issuable warps only: ascending index,
+            # split circularly at the rotation point.  Non-issuable warps
+            # were skipped by the old scan, so the candidate order is
+            # unchanged.
+            order = sorted(issuable)
+            if base:
+                split = bisect_left(order, base)
+                order = order[split:] + order[:split]
+            for warp_index in order:
+                if slots >= self.issue_width:
+                    break
+                warp = self.warps[warp_index]
+                request = warp.pending[0]
+                if request.is_load and self.outstanding_loads >= self.max_outstanding:
+                    continue
+                l1_hit = (
+                    self.l1 is not None
+                    and request.is_load
+                    and self.l1.lookup_load(request.address)
                 )
-            else:
-                if self.l1 is not None and request.type.value == "mem_store":
-                    self.l1.note_store(request.address)
-                request.cycle_noc_entry = cycle
-                self.output.try_push(request)
-                if request.is_load:
+                if not l1_hit and not self.output.can_push(request):
+                    continue
+                warp.pending.popleft()
+                if request.cycle_created < 0:
+                    request.cycle_created = cycle
+                request.source = self.index
+                request.warp = warp_index
+                if l1_hit:
+                    # Satisfied locally after the L1 hit latency; no NoC trip.
                     self.outstanding_loads += 1
                     if warp.wait_for_replies:
                         warp.waiting_replies += 1
-                issued += 1
-            slots += 1
-            self._issue_rotation = (base + offset + 1) % num_warps
-        if slots:
-            # Still actively issuing — retry next cycle.
+                    heapq.heappush(
+                        self._local_replies,
+                        (cycle + self.l1_latency, next(self._local_seq), request),
+                    )
+                else:
+                    if self.l1 is not None and request.type.value == "mem_store":
+                        self.l1.note_store(request.address)
+                    request.cycle_noc_entry = cycle
+                    self.output.try_push(request)
+                    if request.is_load:
+                        self.outstanding_loads += 1
+                        if warp.wait_for_replies:
+                            warp.waiting_replies += 1
+                    issued += 1
+                slots += 1
+                self._issue_rotation = (warp_index + 1) % num_warps
+                if not warp.pending:
+                    issuable.remove(warp_index)
+                    if not (warp.wait_for_replies and warp.waiting_replies > 0):
+                        # Phase complete and not blocked: advance the next
+                        # phase once the compute window (or next step) comes.
+                        heapq.heappush(
+                            self._due,
+                            (warp.compute_until if warp.compute_until > cycle else cycle + 1, warp_index),
+                        )
+        if slots or issuable:
+            # Actively issuing, or an issuable warp is blocked on buffer
+            # space / the outstanding-load limit — retry next cycle.
             self._next_wake = cycle + 1
         else:
-            # Either some warp has a serviceable head but is blocked on
-            # buffer space / the outstanding-load limit (retry next cycle),
-            # or all warps are computing, waiting on replies, or done — in
-            # which case wake at the earliest compute-phase end; a reply
-            # (via receive_reply) marks the SM dirty.
-            wake = cycle + 1_000_000
-            ready = False
-            for w in self.warps:
-                if w.pending:
-                    if cycle >= w.compute_until:
-                        ready = True
-                        break
-                    if w.compute_until < wake:
-                        wake = w.compute_until
-                elif not w.done and not w.blocked_on_replies():
-                    if w.compute_until < wake:
-                        wake = w.compute_until
-            self._next_wake = cycle + 1 if ready else wake
+            # All warps are computing, waiting on replies, or done: sleep
+            # until the next due event; a reply (via receive_reply) marks
+            # the SM dirty.
+            self._next_wake = self._due[0][0] if self._due else cycle + 1_000_000
         return issued
 
-    def _advance_warps(self, cycle: int) -> None:
-        for warp in self.warps:
-            if warp.done or warp.pending or warp.blocked_on_replies():
+    def _advance_due_warps(self, cycle: int) -> None:
+        """Process due events: phase advances and issuable transitions.
+
+        Each popped entry re-checks the warp, so stale duplicates are
+        no-ops.  At most one phase is advanced per warp per step (the
+        refreshed due entry is at ``cycle + 1`` or later), matching the
+        previous per-step scan.
+        """
+        due = self._due
+        warps = self.warps
+        while due and due[0][0] <= cycle:
+            _, warp_index = heapq.heappop(due)
+            warp = warps[warp_index]
+            if warp.done:
                 continue
+            if warp.pending:
+                if cycle >= warp.compute_until:
+                    self._issuable.add(warp_index)
+                else:
+                    heapq.heappush(due, (warp.compute_until, warp_index))
+                continue
+            if warp.blocked_on_replies():
+                continue  # receive_reply re-arms the warp
             if cycle < warp.compute_until:
+                heapq.heappush(due, (warp.compute_until, warp_index))
                 continue
             phase = next(warp.program, None)
             if phase is None:
@@ -211,6 +255,18 @@ class SM:
                 self._live_warps -= 1
                 continue
             self._load_phase(warp, phase, cycle)
+            if warp.pending:
+                if cycle >= warp.compute_until:
+                    self._issuable.add(warp_index)
+                else:
+                    heapq.heappush(due, (warp.compute_until, warp_index))
+            else:
+                # Pure-compute phase: advance again when it ends (at the
+                # earliest next step, preserving one-phase-per-step).
+                heapq.heappush(
+                    due,
+                    (warp.compute_until if warp.compute_until > cycle else cycle + 1, warp_index),
+                )
 
     @staticmethod
     def _load_phase(warp: WarpState, phase: Phase, cycle: int) -> None:
@@ -234,12 +290,20 @@ class SM:
         warp = self.warps[request.warp]
         if warp.wait_for_replies and warp.waiting_replies > 0:
             warp.waiting_replies -= 1
+        if (
+            not warp.done
+            and not warp.pending
+            and not (warp.wait_for_replies and warp.waiting_replies > 0)
+        ):
+            # Fully unblocked: re-arm the warp's phase advance.  Replies
+            # are delivered before this cycle's SM stage runs, so an entry
+            # at ``cycle`` advances the warp this very step — exactly when
+            # the old all-warp scan would have.
+            heapq.heappush(
+                self._due,
+                (warp.compute_until if warp.compute_until > cycle else cycle, request.warp),
+            )
         self._dirty = True
-
-    def next_wake(self, cycle: int) -> int:
-        """Earliest future cycle this SM could make progress on its own."""
-        future = [w.compute_until for w in self.warps if not w.done and w.compute_until > cycle]
-        return min(future) if future else cycle + 1
 
     def next_event_cycle(self) -> int:
         """Fast-forward contract: earliest cycle a future ``step`` could act.

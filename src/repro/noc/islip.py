@@ -78,12 +78,16 @@ class ISlipArbiter:
 
         # Grant phase: one grant per output, round-robin from the pointer.
         grants: Dict[int, List[int]] = {}  # input -> granted outputs
+        num_inputs = self.num_inputs
         for out, requesters in proposals.items():
             pointer = self._grant_ptr[out]
-            chosen = min(
-                requesters,
-                key=lambda i: (i - pointer) % self.num_inputs,
-            )
+            chosen = requesters[0]
+            best = (chosen - pointer) % num_inputs
+            for i in requesters[1:]:
+                distance = (i - pointer) % num_inputs
+                if distance < best:
+                    best = distance
+                    chosen = i
             grants.setdefault(chosen, []).append(out)
 
         # Accept phase: each input takes the grant matching its most

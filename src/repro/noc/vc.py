@@ -72,10 +72,12 @@ class VCBuffer:
     # -- producer side ------------------------------------------------------
 
     def can_push(self, request: Request) -> bool:
-        return not self.queue_for(request).full
+        queue = self._queues[1 if self.num_vcs == 2 and request.is_pim else 0]
+        return len(queue._items) < queue.capacity
 
     def try_push(self, request: Request) -> bool:
-        return self.queue_for(request).try_push(request)
+        queue = self._queues[1 if self.num_vcs == 2 and request.is_pim else 0]
+        return queue.try_push(request)
 
     # -- consumer side ------------------------------------------------------
 
@@ -117,10 +119,11 @@ class VCBuffer:
 
     def pop_matching(self, request: Request) -> Request:
         """Pop a specific head (after crossbar arbitration granted it)."""
-        queue = self.queue_for(request)
-        if queue.peek() is not request:
+        index = 1 if self.num_vcs == 2 and request.is_pim else 0
+        queue = self._queues[index]
+        if not queue._items or queue._items[0] is not request:
             raise ValueError("request is not at the head of its VC")
-        self._rotation = (self._vc_index(request) + 1) % self.num_vcs
+        self._rotation = (index + 1) % self.num_vcs
         return queue.pop()
 
     # -- stats -----------------------------------------------------------

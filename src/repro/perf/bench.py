@@ -19,6 +19,11 @@ Scenarios
     A memory-intensive G17 x looping P1 co-run that keeps every queue
     busy; there is nothing to skip, so this tracks the engine's busy-path
     (active-set) throughput.
+``saturated_corun``
+    The same pairing with *both* kernels looping and a GPU-heavy 8/2 SM
+    split, so the MEM queues stay deep for the whole window.  This is the
+    regime where scheduling cost dominates; it tracks the indexed
+    per-bank scheduler and the SM due-event batching.
 """
 
 from __future__ import annotations
@@ -44,6 +49,8 @@ class BenchScenario:
     loop_pim: bool
     max_cycles: int
     policy: str = "FR-FCFS"
+    loop_gpu: bool = False
+    gpu_sms: Optional[int] = None  # SMs for the GPU kernel (default: half)
     description: str = ""
 
 
@@ -68,6 +75,18 @@ SCENARIOS: Dict[str, BenchScenario] = {
             description="memory-intensive co-run with a looping PIM kernel "
             "(always busy: exercises the active-set busy path)",
         ),
+        BenchScenario(
+            name="saturated_corun",
+            gpu_kernel="G17",
+            pim_kernel="P1",
+            loop_pim=True,
+            loop_gpu=True,
+            gpu_sms=8,
+            max_cycles=50_000,
+            description="both kernels loop with a GPU-heavy 8/2 SM split: "
+            "deep MEM queues every cycle (exercises the indexed per-bank "
+            "scheduler and SM due-event batching)",
+        ),
     )
 }
 
@@ -89,8 +108,10 @@ def _build_system(
         scale=scale,
         fast_forward=fast_forward,
     )
-    gpu_sms = sms // 2
-    system.add_kernel(get_gpu_kernel(scenario.gpu_kernel), num_sms=gpu_sms)
+    gpu_sms = scenario.gpu_sms if scenario.gpu_sms is not None else sms // 2
+    system.add_kernel(
+        get_gpu_kernel(scenario.gpu_kernel), num_sms=gpu_sms, loop=scenario.loop_gpu
+    )
     system.add_kernel(
         get_pim_kernel(scenario.pim_kernel),
         num_sms=sms - gpu_sms,

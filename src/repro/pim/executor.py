@@ -74,6 +74,12 @@ class PIMExecutor:
                 self._fu_of_bank[bank] = fu
 
         self.open_row: Optional[int] = None  # row open for PIM on all banks
+        # True only when every bank's row buffer is known to point at
+        # ``open_row`` (set after a lock-step row switch, cleared when a MEM
+        # issue moves a bank elsewhere).  Lets ``would_switch_row`` skip the
+        # per-bank scan on the hot PIM-mode decision path; False merely
+        # means "scan to find out", so the flag is always safe.
+        self._rows_uniform = True
         self.busy_until = 0
         self.next_col = 0
         self.stats = PIMStats()
@@ -91,8 +97,33 @@ class PIMExecutor:
         """Whether this request needs a row change (block boundary)."""
         if self.open_row != request.row:
             return True
+        if self._rows_uniform:
+            return False
         # A MEM phase may have moved some bank off the PIM row.
-        return any(bank.state.open_row != request.row for bank in self.channel.banks)
+        row = request.row
+        for bank in self.channel.banks:
+            if bank.state.open_row != row:
+                return True
+        self._rows_uniform = True  # scan proved the banks are aligned again
+        return False
+
+    def note_mem_issue(self, request: "Request") -> None:
+        """Record that a MEM issue may have moved a bank off the PIM row.
+
+        Called by the controller on every MEM issue; a MEM access leaves
+        its bank's row buffer on its own row, so uniformity only survives
+        accesses to the PIM row itself.
+        """
+        if self._rows_uniform and request.row != self.open_row:
+            self._rows_uniform = False
+
+    def invalidate_row_cache(self) -> None:
+        """Force the next ``would_switch_row`` to re-scan the banks.
+
+        For callers that mutate ``bank.state.open_row`` directly (tests,
+        hand-built scenarios) instead of going through the channel/executor.
+        """
+        self._rows_uniform = False
 
     def in_flight(self) -> int:
         return len(self._in_flight)
@@ -154,6 +185,7 @@ class PIMExecutor:
         start = act + timings.tRCD
         self.stats.row_switches += 1
         self.open_row = row
+        self._rows_uniform = True
         for bank in banks:
             state = bank.state
             state.open_row = row
@@ -222,6 +254,7 @@ class PIMExecutor:
         for fu in self.fus:
             fu.reset()
         self.open_row = None
+        self._rows_uniform = True
         self.busy_until = 0
         self.next_col = 0
         self.stats = PIMStats()

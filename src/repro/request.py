@@ -97,7 +97,8 @@ class Request:
     # Monotonic id; doubles as the "age" used by oldest-first arbitration.
     id: int = field(default_factory=lambda: next(_request_ids))
 
-    # Decoded address fields (filled by dram.address.AddressMapper).
+    # Decoded address fields (filled once by dram.address.AddressMapper;
+    # the controller's per-bank index keys on bank/row without re-decoding).
     channel: int = -1
     bank: int = -1
     row: int = -1
@@ -127,23 +128,27 @@ class Request:
     # the evicting kernel for arrival stats, but not to kernel completion).
     is_writeback: bool = False
 
+    # Cached classification of ``type`` (the type of a request never
+    # changes, and the enum-property lookups showed up in scheduler
+    # profiles).  Filled in __post_init__.
+    is_pim: bool = field(init=False, default=False)
+    is_load: bool = field(init=False, default=False)
+    mode: Mode = field(init=False, default=None)  # type: ignore[assignment]
+
+    # Membership flag for the controller's per-bank MEM index: requests are
+    # tombstoned on removal and lazily dropped from the index deques (see
+    # repro.core.memq).
+    in_mem_queue: bool = field(init=False, default=False)
+
     def __post_init__(self) -> None:
-        if self.type.is_pim and self.pim_op is None:
+        pim = self.type is RequestType.PIM
+        if pim and self.pim_op is None:
             raise ValueError("PIM requests must carry a pim_op")
-        if not self.type.is_pim and self.pim_op is not None:
+        if not pim and self.pim_op is not None:
             raise ValueError("MEM requests must not carry a pim_op")
-
-    @property
-    def is_pim(self) -> bool:
-        return self.type.is_pim
-
-    @property
-    def is_load(self) -> bool:
-        return self.type is RequestType.MEM_LOAD
-
-    @property
-    def mode(self) -> Mode:
-        return Mode.for_request(self)
+        self.is_pim = pim
+        self.is_load = self.type is RequestType.MEM_LOAD
+        self.mode = Mode.PIM if pim else Mode.MEM
 
     @property
     def queueing_delay(self) -> int:

@@ -40,7 +40,7 @@ import heapq
 import itertools
 import os
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +58,7 @@ from repro.noc.mesh import MeshFabric
 from repro.noc.vc import VCBuffer
 from repro.pim.executor import PIMExecutor
 from repro.request import Mode, Request
+from repro.sim.activeset import OrderedIndexSet
 from repro.sim.results import KernelResult, SimResult
 
 #: Words (32 B DRAM accesses) per modelled L2 entry.  The slice caches
@@ -212,14 +213,18 @@ class GPUSystem:
         # Total items in watched buffers (SM outputs, interconnect->L2,
         # L2->DRAM) plus pending writebacks; zero is a precondition for
         # fast-forwarding.
+        # Stage loops visit members in ascending order (iteration order is
+        # simulated behaviour — it fixes reply sequence numbers), so the
+        # active sets maintain that order incrementally instead of paying a
+        # sorted() per stage per cycle.
         self._backlog = 0
-        self._l2_active: Set[int] = set()  # channels: input_buffers non-empty
-        self._ingress_active: Set[int] = set()  # channels: dram_queues non-empty
-        self._wb_active: Set[int] = set()  # channels: pending writebacks
-        self._xbar_active: Set[int] = set()  # SMs: sm_buffers non-empty
-        self._busy_channels: Set[int] = set()  # channels with DRAM/PIM in flight
-        self._mc_active: Set[int] = set(range(config.num_channels))
-        self._sm_active: Set[int] = set()
+        self._l2_active = OrderedIndexSet()  # channels: input_buffers non-empty
+        self._ingress_active = OrderedIndexSet()  # channels: dram_queues non-empty
+        self._wb_active = OrderedIndexSet()  # channels: pending writebacks
+        self._xbar_active = OrderedIndexSet()  # SMs: sm_buffers non-empty
+        self._busy_channels = OrderedIndexSet()  # channels with DRAM/PIM in flight
+        self._mc_active = OrderedIndexSet(range(config.num_channels))
+        self._sm_active = OrderedIndexSet()
         # Sleeping controllers (kind 0) / SMs (kind 1) with a self-scheduled
         # future event; entries are lazy-deleted (stale wakes are no-ops).
         self._wake_heap: List[Tuple[int, int, int]] = []
@@ -245,7 +250,7 @@ class GPUSystem:
             ("kernel_completion", self._stage_kernel_completion),
         )
 
-    def _watch_buffer(self, buffer: VCBuffer, active_set: Set[int], key: int) -> None:
+    def _watch_buffer(self, buffer: VCBuffer, active_set: OrderedIndexSet, key: int) -> None:
         def on_push() -> None:
             self._backlog += 1
             active_set.add(key)
@@ -301,8 +306,18 @@ class GPUSystem:
         if not busy:
             return
         cycle = self.cycle
-        for ch in sorted(busy):
+        for ch in busy.snapshot():
             controller = self.controllers[ch]
+            # Nothing completes before the earliest in-flight entry, and the
+            # in-flight counts cannot change until something completes, so a
+            # channel whose next completion lies in the future can be skipped
+            # without touching it.
+            head = controller.channel.next_completion_cycle()
+            pim_head = controller.pim_exec.next_completion_cycle()
+            if (head is None or head > cycle) and (pim_head is None or pim_head > cycle):
+                if head is None and pim_head is None:
+                    busy.discard(ch)
+                continue
             done = controller.pop_completed(cycle)
             if done:
                 self._mc_active.add(ch)  # pop_completed marked it dirty
@@ -354,7 +369,7 @@ class GPUSystem:
         cycle = self.cycle
         controllers = self.controllers
         wake_heap = self._wake_heap
-        for ch in sorted(active):
+        for ch in active.snapshot():
             controller = controllers[ch]
             if controller.tick(cycle) is not None:
                 self._busy_channels.add(ch)
@@ -373,7 +388,7 @@ class GPUSystem:
         if not active:
             return
         cycle = self.cycle
-        for ch in sorted(active):
+        for ch in active.snapshot():
             queue = self.dram_queues[ch]
             controller = self.controllers[ch]
             for head in queue.heads():
@@ -389,7 +404,7 @@ class GPUSystem:
         if not active:
             return
         cycle = self.cycle
-        for ch in sorted(active):
+        for ch in active.snapshot():
             buffer = self.input_buffers[ch]
             slice_ = self.l2_slices[ch]
             dram_queue = self.dram_queues[ch]
@@ -421,7 +436,7 @@ class GPUSystem:
         active = self._wb_active
         if not active:
             return
-        for ch in sorted(active):
+        for ch in active.snapshot():
             pending = self.writebacks[ch]
             queue = self.dram_queues[ch].queue(Mode.MEM)
             if not queue.full:
@@ -438,7 +453,7 @@ class GPUSystem:
                 self.mesh.step(self.sm_buffers, self.input_buffers)
         elif self._xbar_active:
             self.crossbar.step(
-                self.sm_buffers, self.input_buffers, sorted(self._xbar_active)
+                self.sm_buffers, self.input_buffers, self._xbar_active.snapshot()
             )
 
     def _stage_sms(self) -> None:
@@ -448,7 +463,7 @@ class GPUSystem:
         cycle = self.cycle
         sms = self.sms
         wake_heap = self._wake_heap
-        for i in sorted(active):
+        for i in active.snapshot():
             sm = sms[i]
             if sm.instance is None:
                 active.discard(i)
