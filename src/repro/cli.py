@@ -207,6 +207,75 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.figures import format_table
+    from repro.obs.trace import validate_trace, write_stats, write_trace
+    from repro.perf.bench import TRACE_SCENARIOS, build_scenario_system
+
+    from repro.core.policies import PolicySpec
+
+    policy_name = _canonical_policy(args.policy)
+    scenario = TRACE_SCENARIOS[args.scenario]
+    system = build_scenario_system(
+        scenario,
+        channels=args.channels,
+        sms=args.sms,
+        scale=args.scale,
+        seed=args.seed,
+        policy=PolicySpec(policy_name) if policy_name is not None else None,
+    )
+    telemetry = system.enable_telemetry(
+        ring_capacity=args.ring_capacity, timeline_interval=args.interval
+    )
+    max_cycles = args.max_cycles or scenario.max_cycles
+    result = system.run(max_cycles=max_cycles, until_all_complete_once=False)
+
+    out = Path(args.out)
+    doc = write_trace(system, out)
+    errors = validate_trace(doc)
+    if errors:  # pragma: no cover - write_trace validates already
+        for error in errors:
+            print(f"invalid trace: {error}", file=sys.stderr)
+        return 1
+    stats_path = out.with_name(out.stem + "_stats.json")
+    write_stats(result.telemetry, stats_path)
+
+    identity = result.telemetry["hop_identity"]
+    print(
+        f"trace written to {out} "
+        f"({len(doc['traceEvents'])} events, {result.cycles} cycles, "
+        f"{len(telemetry.events)} ring events, {telemetry.events.evicted} evicted)"
+    )
+    print(f"stats written to {stats_path}")
+    print(
+        f"hop identity: {identity['requests']} requests, "
+        f"mean total {identity['mean_total_latency']} vs hop sum "
+        f"{identity['mean_hop_sum']} (gap {identity['mean_abs_gap']})"
+    )
+    from repro.experiments.figures import latency_breakdown_rows
+
+    rows = latency_breakdown_rows(result.telemetry)
+    if rows:
+        print(format_table(rows, list(rows[0])))
+    return 0
+
+
+def _canonical_policy(name: Optional[str]) -> Optional[str]:
+    """Resolve a case-insensitive policy name; None passes through."""
+    if name is None:
+        return None
+    by_lower = {p.lower(): p for p in available_policies()}
+    try:
+        return by_lower[name.lower()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown policy {name!r}; choose from {sorted(available_policies())}"
+        )
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -269,11 +338,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(figure)
     figure.set_defaults(func=cmd_figure)
 
+    from repro.perf.bench import SCENARIOS as BENCH_SCENARIOS
+    from repro.perf.bench import TRACE_SCENARIOS
+
     bench = sub.add_parser("bench", help="benchmark the simulation engine itself")
     bench.add_argument(
         "--scenarios",
         nargs="*",
-        choices=("corun_horizon", "corun_saturated"),
+        choices=sorted(BENCH_SCENARIOS),
         help="scenarios to run (default: all)",
     )
     bench.add_argument("--sms", type=int, default=10, help="number of SMs")
@@ -290,6 +362,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="-", help="output JSON file ('-' = stdout)")
     _add_scale_args(bench)
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario with telemetry and export a Perfetto-loadable trace",
+    )
+    trace.add_argument(
+        "--scenario",
+        default="saturated_corun",
+        choices=sorted(TRACE_SCENARIOS),
+        help="scenario to trace (perf-bench scenarios + mode_timeline)",
+    )
+    trace.add_argument(
+        "--policy",
+        default=None,
+        help="override the scenario's scheduling policy (case-insensitive)",
+    )
+    trace.add_argument("--out", default="trace.json", help="trace-event JSON output path")
+    trace.add_argument(
+        "--max-cycles", type=int, default=None, help="override the scenario's horizon"
+    )
+    trace.add_argument("--sms", type=int, default=10, help="number of SMs")
+    trace.add_argument(
+        "--interval", type=int, default=100, help="queue-occupancy sampling interval"
+    )
+    trace.add_argument(
+        "--ring-capacity", type=int, default=65536, help="event ring-buffer capacity"
+    )
+    _add_scale_args(trace)
+    trace.set_defaults(func=cmd_trace)
 
     report = sub.add_parser("report", help="generate a markdown reproduction report")
     report.add_argument("--out", default="-", help="output file ('-' = stdout)")

@@ -25,6 +25,7 @@ from repro.core.memq import BankIndexedMemQueue
 from repro.core.policies.base import SchedulingPolicy
 from repro.dram.channel import Channel
 from repro.dram.refresh import RefreshTimer
+from repro.obs import events as obs_events
 from repro.pim.executor import PIMExecutor
 from repro.request import Mode, Request
 
@@ -131,6 +132,10 @@ class MemoryController:
         self._dirty = True
         self._last_mode_cycle = 0
 
+        # Optional repro.obs.telemetry.Telemetry, shared with the system;
+        # None keeps every telemetry hook on its zero-cost path.
+        self.telemetry = None
+
         policy.attach(self)
 
     # -- queue admission -----------------------------------------------------
@@ -161,6 +166,12 @@ class MemoryController:
         request.mc_seq = self._next_seq
         self._next_seq += 1
         request.cycle_mc_arrival = cycle
+        if self.telemetry is not None:
+            # Snapshot the other-mode cycle counter; the delta at issue time
+            # is the mode-blocked share of this request's MC wait.
+            request.mc_blocked_base = self.mode_cycles_upto(
+                Mode.MEM if request.is_pim else Mode.PIM, cycle
+            )
         self._dirty = True
         self.policy.on_enqueue(request, cycle)
         return True
@@ -228,6 +239,13 @@ class MemoryController:
             raise ValueError("switching to the current mode")
         self._switch_target = target
         self._switch_started = cycle
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                cycle,
+                obs_events.MODE_SWITCH_BEGIN,
+                channel=self.channel.index,
+                to=target.value,
+            )
         if target is Mode.PIM:
             # Remember where each bank's row buffer points so post-PIM MEM
             # conflicts on those rows can be attributed to the switch.
@@ -274,12 +292,35 @@ class MemoryController:
         self.mode = target
         self._switch_target = None
         self.clear_conflict_bits()
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                cycle,
+                obs_events.MODE_SWITCH_END,
+                channel=self.channel.index,
+                mode=target.value,
+                drain_latency=drain_latency,
+                idle_bank_cycles=idle_bank_cycles,
+            )
         self.policy.on_switch(target, cycle)
         self._dirty = True
 
     def _account_mode_cycles(self, cycle: int) -> None:
         self.stats.mode_cycles[self.mode] += cycle - self._last_mode_cycle
         self._last_mode_cycle = cycle
+
+    def mode_cycles_upto(self, mode: Mode, cycle: int) -> int:
+        """Cycles spent in ``mode`` from the start of the run to ``cycle``.
+
+        ``stats.mode_cycles`` is only settled at switch completion; this
+        adds the in-progress residency (a switch drain counts toward the
+        mode being left, matching ``_account_mode_cycles``).  The delta of
+        two snapshots bounds the other-mode blocking a request saw while
+        queued — the telemetry layer's ``mc_blocked`` hop.
+        """
+        total = self.stats.mode_cycles[mode]
+        if self.mode is mode:
+            total += cycle - self._last_mode_cycle
+        return total
 
     def _attribute_post_switch_conflict(self, request: Request) -> None:
         """Count a conflict caused by the previous PIM phase (Figure 10b)."""
@@ -317,6 +358,13 @@ class MemoryController:
             )
             return True
         self._refresh_until = self.refresh.perform(cycle)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                cycle,
+                obs_events.REFRESH,
+                channel=self.channel.index,
+                until=self._refresh_until,
+            )
         for bank in self.channel.banks:
             state = bank.state
             state.open_row = None
@@ -377,6 +425,13 @@ class MemoryController:
             request = self.pim_queue.popleft()
             self.pim_exec.issue(request, cycle)
             self.stats.pim_issued += 1
+        if self.telemetry is not None and request.mc_blocked_base >= 0:
+            request.mc_blocked_cycles = (
+                self.mode_cycles_upto(
+                    Mode.MEM if request.is_pim else Mode.PIM, cycle
+                )
+                - request.mc_blocked_base
+            )
         self.policy.on_issue(request, cycle)
         self._next_wake = cycle + 1
         self._dirty = True

@@ -79,6 +79,21 @@ class SchedulingPolicy(abc.ABC):
     def on_enqueue(self, request: Request, cycle: int) -> None:
         """Called when a request enters the controller's queues."""
 
+    # -- telemetry -----------------------------------------------------------
+
+    def emit_event(self, cycle: int, kind: str, **data) -> None:
+        """Emit a structured trace event tagged with this policy's channel.
+
+        No-op unless the controller has telemetry attached (see
+        :mod:`repro.obs`), and safe on a detached policy instance.
+        """
+        controller = getattr(self, "controller", None)
+        if controller is None:
+            return
+        telemetry = controller.telemetry
+        if telemetry is not None:
+            telemetry.emit(cycle, kind, channel=controller.channel.index, **data)
+
     # -- shared selection helpers --------------------------------------------
 
     @staticmethod

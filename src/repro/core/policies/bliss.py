@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from repro.core.policies.base import IDLE, Decision, SchedulingPolicy
+from repro.obs.events import BLISS_BLACKLIST, BLISS_CLEAR
 from repro.request import Mode, Request
 
 DEFAULT_THRESHOLD = 4
@@ -43,6 +44,10 @@ class BLISS(SchedulingPolicy):
         # schedule.  Part of the engine's fast-forward contract.
         epoch = cycle // self.clear_interval
         if epoch != self._last_epoch:
+            if self.blacklist:
+                self.emit_event(
+                    cycle, BLISS_CLEAR, epoch=epoch, cleared=len(self.blacklist)
+                )
             self.blacklist.clear()
             self._last_epoch = epoch
 
@@ -123,4 +128,8 @@ class BLISS(SchedulingPolicy):
             self._streak_kernel = kernel
             self._streak_length = 1
         if self._streak_length >= self.threshold:
+            if kernel not in self.blacklist:
+                self.emit_event(
+                    cycle, BLISS_BLACKLIST, kernel=kernel, streak=self._streak_length
+                )
             self.blacklist.add(kernel)

@@ -28,6 +28,7 @@ O(queue)); the adaptation layer itself is O(1) per epoch boundary.
 from __future__ import annotations
 
 from repro.core.policies.f3fs import F3FS
+from repro.obs.events import DYN_CAP_ADAPT
 from repro.request import Mode
 
 DEFAULT_EPOCH = 2_000
@@ -87,16 +88,24 @@ class DynamicF3FS(F3FS):
             return
         mem_share = delta_mem / total
         if mem_share > self.target_mem_share + self.margin:
-            self._shift_toward(Mode.PIM)
+            self._shift_toward(Mode.PIM, cycle, mem_share)
         elif mem_share < self.target_mem_share - self.margin:
-            self._shift_toward(Mode.MEM)
+            self._shift_toward(Mode.MEM, cycle, mem_share)
 
-    def _shift_toward(self, mode: Mode) -> None:
+    def _shift_toward(self, mode: Mode, cycle: int = 0, mem_share: float = -1.0) -> None:
         """Give ``mode`` more service: raise its CAP, lower the other's."""
         other = mode.other
         new_mode_cap = min(self.max_cap, self.caps[mode] * 2)
         new_other_cap = max(self.min_cap, self.caps[other] // 2)
         if new_mode_cap != self.caps[mode] or new_other_cap != self.caps[other]:
             self.adjustments += 1
+            self.emit_event(
+                cycle,
+                DYN_CAP_ADAPT,
+                toward=mode.value,
+                mem_share=round(mem_share, 4),
+                mem_cap=new_mode_cap if mode is Mode.MEM else new_other_cap,
+                pim_cap=new_mode_cap if mode is Mode.PIM else new_other_cap,
+            )
         self.caps[mode] = new_mode_cap
         self.caps[other] = new_other_cap

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.policies.base import IDLE, Decision, SchedulingPolicy
+from repro.obs.events import CAP_BYPASS
 from repro.request import Mode, Request
 
 DEFAULT_CAP = 256
@@ -127,6 +128,13 @@ class F3FS(SchedulingPolicy):
         other = self._other_oldest(self.controller)
         if other is not None and other.mc_seq < request.mc_seq:
             self._bypasses += 1
+            self.emit_event(
+                cycle,
+                CAP_BYPASS,
+                mode=request.mode.value,
+                bypasses=self._bypasses,
+                cap=self.caps[request.mode],
+            )
 
     def on_switch(self, new_mode, cycle):
         self._bypasses = 0

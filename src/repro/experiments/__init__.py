@@ -15,6 +15,7 @@ from repro.experiments.figures import (
     fig14a_ablation,
     fig14b_queue_sensitivity,
     format_table,
+    latency_breakdown_rows,
 )
 from repro.experiments.runner import (
     BASELINE_POLICY,
@@ -24,7 +25,7 @@ from repro.experiments.runner import (
     Runner,
 )
 from repro.experiments.parallel import GridTask, make_tasks, run_grid_parallel
-from repro.experiments.report import generate_report
+from repro.experiments.report import generate_report, telemetry_section
 from repro.experiments.sweep import sweep_f3fs_caps, sweep_policy_parameter
 
 __all__ = [
@@ -48,6 +49,8 @@ __all__ = [
     "fig8_fairness_throughput",
     "format_table",
     "generate_report",
+    "latency_breakdown_rows",
+    "telemetry_section",
     "GridTask",
     "make_tasks",
     "run_grid_parallel",

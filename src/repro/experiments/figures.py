@@ -435,6 +435,36 @@ def fig14b_queue_sensitivity(
 
 
 # ---------------------------------------------------------------------------
+# Telemetry consumers (repro.obs)
+# ---------------------------------------------------------------------------
+
+
+def latency_breakdown_rows(telemetry: Mapping) -> List[Dict[str, object]]:
+    """Flatten a telemetry stats summary into per-(mode, stage) table rows.
+
+    ``telemetry`` is ``SimResult.telemetry`` (i.e. ``Telemetry.summary()``);
+    rows follow the canonical stage order and render directly with
+    :func:`format_table` / ``report._md_table``.
+    """
+    rows: List[Dict[str, object]] = []
+    for mode in sorted(telemetry.get("stages", {})):
+        for stage, hist in telemetry["stages"][mode].items():
+            rows.append(
+                {
+                    "mode": mode,
+                    "stage": stage,
+                    "count": hist["count"],
+                    "mean": hist["mean"],
+                    "p50": hist["p50"],
+                    "p95": hist["p95"],
+                    "p99": hist["p99"],
+                    "max": hist["max"],
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Rendering helper
 # ---------------------------------------------------------------------------
 

@@ -65,18 +65,32 @@ def make_tasks(
 _WORKER_RUNNER: Optional[Runner] = None
 
 
-def _init_worker(scale_fields: Dict, cache_path: Optional[str]) -> None:
+def _init_worker(
+    scale_fields: Dict, cache_path: Optional[str], perf_counters: bool = False
+) -> None:
     """Process-pool initializer: build this worker's Runner once."""
     global _WORKER_RUNNER
-    _WORKER_RUNNER = Runner(ExperimentScale(**scale_fields), cache_path=cache_path)
+    _WORKER_RUNNER = Runner(
+        ExperimentScale(**scale_fields),
+        cache_path=cache_path,
+        perf_counters=perf_counters,
+    )
 
 
-def _run_task(task: GridTask) -> Dict:
-    """Worker entry point (module-level for pickling)."""
+def _run_task(task: GridTask) -> Tuple[Dict, Optional[Dict]]:
+    """Worker entry point (module-level for pickling).
+
+    Returns ``(outcome_fields, perf_snapshot)``; the snapshot is the
+    task's own engine wall-clock (the shared counter is reset before the
+    run) or ``None`` when counters are disabled.
+    """
+    perf = _WORKER_RUNNER.perf
+    if perf is not None:
+        perf.reset()
     outcome = _WORKER_RUNNER.competitive(
         task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs
     )
-    return asdict(outcome)
+    return asdict(outcome), (perf.snapshot() if perf is not None else None)
 
 
 def run_grid_parallel(
@@ -84,14 +98,20 @@ def run_grid_parallel(
     tasks: Sequence[GridTask],
     max_workers: int = 4,
     cache_path: Optional[str] = None,
-) -> List[CompetitiveOutcome]:
-    """Run tasks across processes; results come back in task order."""
+    collect_perf: bool = False,
+):
+    """Run tasks across processes; results come back in task order.
+
+    With ``collect_perf=True`` every worker times its engine stages and
+    the return value becomes ``(outcomes, EngineCounters)`` where the
+    counters are the merge of all per-task snapshots.
+    """
     if max_workers < 1:
         raise ValueError("max_workers must be positive")
     global _WORKER_RUNNER
     scale_fields = asdict(scale)
     if max_workers == 1:
-        _init_worker(scale_fields, cache_path)
+        _init_worker(scale_fields, cache_path, collect_perf)
         try:
             raw = [_run_task(task) for task in tasks]
         finally:
@@ -100,7 +120,16 @@ def run_grid_parallel(
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(scale_fields, cache_path),
+            initargs=(scale_fields, cache_path, collect_perf),
         ) as pool:
             raw = list(pool.map(_run_task, tasks))
-    return [CompetitiveOutcome(**record) for record in raw]
+    outcomes = [CompetitiveOutcome(**record) for record, _ in raw]
+    if not collect_perf:
+        return outcomes
+    from repro.perf.counters import EngineCounters
+
+    merged = EngineCounters()
+    for _, snapshot in raw:
+        if snapshot:
+            merged.merge_snapshot(snapshot)
+    return outcomes, merged

@@ -38,6 +38,34 @@ def _md_table(rows: Sequence[dict], columns: Sequence[str]) -> str:
     return "\n".join([header, divider, *body])
 
 
+def telemetry_section(result, title: str = "Per-hop request latency") -> str:
+    """Markdown section for a telemetry-enabled :class:`SimResult`.
+
+    Renders the per-(mode, stage) latency breakdown from
+    ``result.telemetry`` (see :mod:`repro.obs`) plus the hop-sum identity
+    line; raises if the run had no telemetry attached.
+    """
+    from repro.experiments.figures import latency_breakdown_rows
+
+    summary = getattr(result, "telemetry", None) or result
+    if not isinstance(summary, dict) or "stages" not in summary:
+        raise ValueError("result has no telemetry summary (enable_telemetry first)")
+    rows = latency_breakdown_rows(summary)
+    sections = [f"## {title}", ""]
+    sections.append(
+        _md_table(rows, ["mode", "stage", "count", "mean", "p50", "p95", "p99", "max"])
+    )
+    identity = summary.get("hop_identity", {})
+    if identity.get("requests"):
+        sections.append(
+            f"\nHop identity over {identity['requests']} DRAM/PIM-serviced "
+            f"requests: mean total latency {identity['mean_total_latency']} "
+            f"cycles vs per-hop sum {identity['mean_hop_sum']} "
+            f"(mean gap {identity['mean_abs_gap']})."
+        )
+    return "\n".join(sections) + "\n"
+
+
 def generate_report(
     runner: Runner,
     gpu_subset: Sequence[str],

@@ -114,8 +114,20 @@ class CollaborativeOutcome:
 class Runner:
     """Executes and caches the paper's experiment types."""
 
-    def __init__(self, scale: ExperimentScale = ExperimentScale(), cache_path: Optional[str] = None):
+    def __init__(
+        self,
+        scale: ExperimentScale = ExperimentScale(),
+        cache_path: Optional[str] = None,
+        perf_counters: bool = False,
+    ):
         self.scale = scale
+        #: Shared EngineCounters across every system this runner builds
+        #: (engine wall-clock per stage, aggregated over all runs).
+        self.perf = None
+        if perf_counters:
+            from repro.perf.counters import EngineCounters
+
+            self.perf = EngineCounters()
         self._standalone_cache: Dict[str, SimResult] = {}
         self._competitive_cache: Dict[Tuple[str, str, str, int], CompetitiveOutcome] = {}
         self._duration_cache: Dict[str, int] = {}
@@ -130,6 +142,14 @@ class Runner:
         if self.cache_path:
             with open(self.cache_path, "w") as fh:
                 json.dump(self._duration_cache, fh)
+
+    def _build_system(self, config: SystemConfig, policy: PolicySpec) -> GPUSystem:
+        system = GPUSystem(
+            config, policy, seed=self.scale.seed, scale=self.scale.workload_scale
+        )
+        if self.perf is not None:
+            system.perf = self.perf
+        return system
 
     def _standalone_key(self, label: str, sms: int, num_vcs: int) -> str:
         s = self.scale
@@ -146,10 +166,7 @@ class Runner:
         cached = self._standalone_cache.get(key)
         if cached is not None:
             return cached
-        system = GPUSystem(
-            self.scale.config(num_vcs), BASELINE_POLICY, seed=self.scale.seed,
-            scale=self.scale.workload_scale,
-        )
+        system = self._build_system(self.scale.config(num_vcs), BASELINE_POLICY)
         system.add_kernel(spec, num_sms=sms)
         result = system.run(max_cycles=self.scale.max_cycles)
         if not result.all_completed:
@@ -190,9 +207,7 @@ class Runner:
         gpu_alone = self.standalone_duration(gid, get_gpu_kernel(gid), s.gpu_sms_full, num_vcs)
         pim_alone = self.standalone_duration(pid, get_pim_kernel(pid), s.pim_sms, num_vcs)
 
-        system = GPUSystem(
-            s.config(num_vcs), policy, seed=s.seed, scale=s.workload_scale
-        )
+        system = self._build_system(s.config(num_vcs), policy)
         gpu_run = system.add_kernel(get_gpu_kernel(gid), num_sms=s.gpu_sms_corun, loop=True)
         pim_run = system.add_kernel(get_pim_kernel(pid), num_sms=s.pim_sms, loop=True)
         budget = min(s.max_cycles, s.starvation_factor * max(gpu_alone, pim_alone))
@@ -228,7 +243,7 @@ class Runner:
         """
         s = self.scale
         big_alone = self.standalone_duration(gid_big, get_gpu_kernel(gid_big), s.gpu_sms_full, 1)
-        system = GPUSystem(s.config(1), policy, seed=s.seed, scale=s.workload_scale)
+        system = self._build_system(s.config(1), policy)
         big_run = system.add_kernel(get_gpu_kernel(gid_big), num_sms=s.gpu_sms_corun, loop=True)
         system.add_kernel(get_gpu_kernel(gid_small), num_sms=s.pim_sms, loop=True)
         budget = min(s.max_cycles, s.starvation_factor * big_alone)
@@ -249,9 +264,7 @@ class Runner:
         gpu_alone = self.standalone_duration("llm-qkv", qkv, s.gpu_sms_full, num_vcs)
         pim_alone = self.standalone_duration("llm-mha", mha, s.pim_sms, num_vcs)
 
-        system = GPUSystem(
-            s.config(num_vcs), policy, seed=s.seed, scale=s.workload_scale
-        )
+        system = self._build_system(s.config(num_vcs), policy)
         system.add_kernel(qkv, num_sms=s.gpu_sms_corun)
         system.add_kernel(mha, num_sms=s.pim_sms)
         budget = min(s.max_cycles, s.starvation_factor * (gpu_alone + pim_alone))

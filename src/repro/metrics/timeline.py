@@ -58,12 +58,17 @@ class TimelineSampler:
     # -- analysis helpers ----------------------------------------------------
 
     def mode_share(self) -> Dict[str, float]:
-        """Fraction of (channel, sample) points spent in each state."""
+        """Fraction of (channel, sample) points spent in each state.
+
+        Unrecognized mode strings (e.g. from a custom controller subclass)
+        are bucketed under ``"other"`` rather than raising.
+        """
         counts: Dict[str, int] = {"mem": 0, "pim": 0, "switching": 0}
         total = 0
         for sample in self.samples:
             for mode in sample.modes:
-                counts[mode] += 1
+                key = mode if mode in counts else "other"
+                counts[key] = counts.get(key, 0) + 1
                 total += 1
         if not total:
             return {key: 0.0 for key in counts}
@@ -101,13 +106,31 @@ class TimelineSampler:
     def render_strip(self, channel: int = 0, width: int = 80) -> str:
         """ASCII strip chart of one channel's mode over time.
 
-        ``M`` = MEM mode, ``P`` = PIM mode, ``|`` = switching.
+        ``M`` = MEM mode, ``P`` = PIM mode, ``|`` = switching, ``?`` = any
+        unrecognized mode string.
         """
         if not self.samples:
             return ""
         glyphs = {"mem": "M", "pim": "P", "switching": "|"}
-        states = [glyphs[s.modes[channel]] for s in self.samples]
+        states = [glyphs.get(s.modes[channel], "?") for s in self.samples]
         if len(states) <= width:
             return "".join(states)
         stride = len(states) / width
         return "".join(states[int(i * stride)] for i in range(width))
+
+    def to_rows(self) -> List[Dict]:
+        """JSON-friendly export, one flat dict per sample.
+
+        This is the form the trace writer (:mod:`repro.obs.trace`) consumes
+        for its queue-occupancy counter tracks.
+        """
+        return [
+            {
+                "cycle": sample.cycle,
+                "modes": list(sample.modes),
+                "mem_queue": list(sample.mem_queue_occupancy),
+                "pim_queue": list(sample.pim_queue_occupancy),
+                "noc": list(sample.noc_occupancy),
+            }
+            for sample in self.samples
+        ]

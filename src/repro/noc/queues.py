@@ -20,7 +20,9 @@ class BoundedQueue(Generic[T]):
     ``on_push`` / ``on_pop`` are optional zero-argument callbacks fired
     after every successful push/pop; the simulation engine uses them to
     maintain its per-stage active sets incrementally (see
-    ``docs/performance.md``).
+    ``docs/performance.md``).  ``on_reject`` fires on every push bounced
+    off a full queue; telemetry uses it to trace backpressure events
+    (``docs/observability.md``).
     """
 
     __slots__ = (
@@ -32,6 +34,7 @@ class BoundedQueue(Generic[T]):
         "peak_occupancy",
         "on_push",
         "on_pop",
+        "on_reject",
     )
 
     def __init__(self, capacity: int, name: str = "") -> None:
@@ -45,6 +48,7 @@ class BoundedQueue(Generic[T]):
         self.peak_occupancy = 0
         self.on_push: Optional[Callable[[], None]] = None
         self.on_pop: Optional[Callable[[], None]] = None
+        self.on_reject: Optional[Callable[[], None]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -71,6 +75,8 @@ class BoundedQueue(Generic[T]):
         items = self._items
         if len(items) >= self.capacity:
             self.rejects += 1
+            if self.on_reject is not None:
+                self.on_reject()
             return False
         items.append(item)
         self.pushes += 1

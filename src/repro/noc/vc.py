@@ -53,6 +53,15 @@ class VCBuffer:
             queue.on_push = on_push
             queue.on_pop = on_pop
 
+    def watch_rejects(self, on_reject: Optional[Callable[[], None]]) -> None:
+        """Register a callback fired whenever a push bounces off a full VC.
+
+        Telemetry wires this to a ``noc_reject`` trace event per bounced
+        push (see :mod:`repro.obs`).
+        """
+        for queue in self._queues:
+            queue.on_reject = on_reject
+
     # -- routing ---------------------------------------------------------
 
     def _vc_index(self, request: Request) -> int:

@@ -1,0 +1,41 @@
+"""Request-path telemetry (``GPUSystem.enable_telemetry`` / ``repro trace``).
+
+Three pillars, all zero-cost when disabled (the system and controllers
+carry a ``telemetry`` attribute that stays ``None`` unless
+:meth:`~repro.sim.system.GPUSystem.enable_telemetry` is called, and every
+hot-path hook is guarded by an ``is not None`` check — the same pattern as
+``enable_perf_counters``):
+
+* **Per-hop latency accounting** (:mod:`repro.obs.histogram`,
+  :class:`~repro.obs.telemetry.Telemetry`): every completed request is
+  folded into streaming log-bucketed histograms keyed by
+  ``(mode, channel, stage)``, exposing p50/p95/p99 and means without
+  retaining per-request lists.
+* **Structured event tracing** (:mod:`repro.obs.events`): a bounded ring
+  buffer of typed events — mode switches, CAP bypasses, refreshes, BLISS
+  blacklisting, Dyn-F3FS cap adaptations, fast-forward windows, kernel
+  launches/drains, NoC rejects.
+* **Export** (:mod:`repro.obs.trace`): a Chrome trace-event JSON writer
+  (Perfetto / ``chrome://tracing`` loadable) plus the JSON stats summary
+  attached to :class:`~repro.sim.results.SimResult`.
+
+See ``docs/observability.md`` for the architecture and a walkthrough.
+"""
+
+from repro.obs.events import EventRing, TraceEvent
+from repro.obs.histogram import LogHistogram
+from repro.obs.telemetry import HOP_STAGES, STAGE_ORDER, Telemetry
+from repro.obs.trace import build_trace, validate_trace, write_stats, write_trace
+
+__all__ = [
+    "EventRing",
+    "TraceEvent",
+    "LogHistogram",
+    "HOP_STAGES",
+    "STAGE_ORDER",
+    "Telemetry",
+    "build_trace",
+    "validate_trace",
+    "write_stats",
+    "write_trace",
+]

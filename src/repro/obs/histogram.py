@@ -1,0 +1,140 @@
+"""Streaming log-bucketed latency histogram (HDR-histogram style).
+
+Latencies span five orders of magnitude (an L1-adjacent reply is a few
+cycles, a mode-blocked MC wait can be tens of thousands), so fixed-width
+buckets are hopeless and per-request lists are exactly what the telemetry
+layer promises *not* to keep.  A :class:`LogHistogram` records values into
+sub-bucketed power-of-two buckets: each octave ``[2^e, 2^(e+1))`` is split
+into ``2^sub_bits`` equal sub-buckets, bounding the relative quantile
+error at ``1 / 2^sub_bits`` while keeping the bucket count logarithmic in
+the value range.  Values below ``2^sub_bits`` are recorded exactly.
+
+Buckets are held in a plain dict keyed by bucket index, so an idle
+(mode, channel, stage) combination costs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class LogHistogram:
+    """Streaming histogram over non-negative integer values (cycles)."""
+
+    __slots__ = ("sub_bits", "_sub", "counts", "total", "value_sum", "min_value", "max_value")
+
+    def __init__(self, sub_bits: int = 3) -> None:
+        if not 0 <= sub_bits <= 10:
+            raise ValueError("sub_bits must be in [0, 10]")
+        self.sub_bits = sub_bits
+        self._sub = 1 << sub_bits
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self.value_sum = 0
+        self.min_value = -1
+        self.max_value = -1
+
+    # -- bucket math ------------------------------------------------------
+
+    def bucket_index(self, value: int) -> int:
+        """Bucket for ``value``; exact below ``2^sub_bits``, log-spaced above."""
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        if value < self._sub:
+            return value
+        # Octave [2^e, 2^(e+1)) split into `sub` equal sub-buckets: drop
+        # all but the top sub_bits+1 significand bits, then bias so the
+        # index sequence continues the exact region seamlessly.
+        shift = value.bit_length() - 1 - self.sub_bits
+        return (shift << self.sub_bits) + (value >> shift)
+
+    def bucket_bounds(self, index: int) -> Tuple[int, int]:
+        """Half-open value range ``[lower, upper)`` covered by a bucket."""
+        if index < 0:
+            raise ValueError("bucket index must be non-negative")
+        sub = self._sub
+        if index < 2 * sub:  # exact region plus the first (width-1) octave
+            return index, index + 1
+        shift = (index >> self.sub_bits) - 1
+        lower = (index - (shift << self.sub_bits)) << shift
+        return lower, lower + (1 << shift)
+
+    # -- recording --------------------------------------------------------
+
+    def add(self, value: int) -> None:
+        index = self.bucket_index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.total += 1
+        self.value_sum += value
+        if self.min_value < 0 or value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram in (must share the same bucket layout)."""
+        if other.sub_bits != self.sub_bits:
+            raise ValueError("cannot merge histograms with different sub_bits")
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.total += other.total
+        self.value_sum += other.value_sum
+        if other.total:
+            if self.min_value < 0 or (0 <= other.min_value < self.min_value):
+                self.min_value = other.min_value
+            if other.max_value > self.max_value:
+                self.max_value = other.max_value
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.value_sum / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at quantile ``p`` in (0, 1]; 0.0 on an empty histogram.
+
+        Interpolates linearly inside the matched bucket, clamped by the
+        recorded min/max so the exact-value region stays exact.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        if not self.total:
+            return 0.0
+        target = p * self.total
+        cumulative = 0
+        for index in sorted(self.counts):
+            count = self.counts[index]
+            cumulative += count
+            if cumulative >= target:
+                lower, upper = self.bucket_bounds(index)
+                lower = max(lower, self.min_value)
+                upper = min(upper, self.max_value + 1)
+                if upper - lower <= 1:
+                    return float(lower)
+                within = (target - (cumulative - count)) / count
+                return lower + (upper - 1 - lower) * within
+        return float(self.max_value)  # pragma: no cover - cumulative == total above
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary (no bucket dump — this is the API surface)."""
+        return {
+            "count": self.total,
+            "mean": round(self.mean, 2),
+            "p50": round(self.percentile(0.50), 1),
+            "p95": round(self.percentile(0.95), 1),
+            "p99": round(self.percentile(0.99), 1),
+            "min": self.min_value if self.total else 0,
+            "max": self.max_value if self.total else 0,
+        }
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int], int]]:
+        """``((lower, upper), count)`` pairs in ascending value order."""
+        for index in sorted(self.counts):
+            yield self.bucket_bounds(index), self.counts[index]
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LogHistogram n={self.total} mean={self.mean:.1f} max={self.max_value}>"

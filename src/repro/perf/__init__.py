@@ -7,6 +7,19 @@ active-set scheduling and event-driven fast-forwarding.
 """
 
 from repro.perf.counters import EngineCounters
-from repro.perf.bench import BenchScenario, SCENARIOS, run_engine_bench
+from repro.perf.bench import (
+    BenchScenario,
+    SCENARIOS,
+    TRACE_SCENARIOS,
+    build_scenario_system,
+    run_engine_bench,
+)
 
-__all__ = ["EngineCounters", "BenchScenario", "SCENARIOS", "run_engine_bench"]
+__all__ = [
+    "EngineCounters",
+    "BenchScenario",
+    "SCENARIOS",
+    "TRACE_SCENARIOS",
+    "build_scenario_system",
+    "run_engine_bench",
+]

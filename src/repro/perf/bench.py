@@ -51,6 +51,7 @@ class BenchScenario:
     policy: str = "FR-FCFS"
     loop_gpu: bool = False
     gpu_sms: Optional[int] = None  # SMs for the GPU kernel (default: half)
+    num_vcs: int = 1
     description: str = ""
 
 
@@ -91,19 +92,48 @@ SCENARIOS: Dict[str, BenchScenario] = {
 }
 
 
-def _build_system(
+#: Scenarios accepted by ``repro trace``: every benchmark scenario plus a
+#: trace-friendly variant of the examples/mode_timeline.py co-run (F3FS
+#: under VC2, both kernels looping — frequent mode phases to look at).
+TRACE_SCENARIOS: Dict[str, BenchScenario] = {
+    **SCENARIOS,
+    "mode_timeline": BenchScenario(
+        name="mode_timeline",
+        gpu_kernel="G19",
+        pim_kernel="P1",
+        loop_pim=True,
+        loop_gpu=True,
+        gpu_sms=8,
+        max_cycles=30_000,
+        policy="F3FS",
+        num_vcs=2,
+        description="the examples/mode_timeline.py co-run (G19 x P1 under "
+        "VC2): alternating MEM/PIM phases, made for looking at traces",
+    ),
+}
+
+
+def build_scenario_system(
     scenario: BenchScenario,
-    channels: int,
-    sms: int,
-    scale: float,
-    seed: int,
-    fast_forward: bool,
+    channels: int = 8,
+    sms: int = 10,
+    scale: float = 0.12,
+    seed: int = 1,
+    fast_forward: bool = True,
+    policy: Optional[PolicySpec] = None,
 ) -> GPUSystem:
+    """Build the system for a scenario (``policy`` overrides the default).
+
+    Shared by the benchmark harness and ``repro trace``; resets the global
+    request-id counter so repeated builds are bit-reproducible.
+    """
     reset_request_ids()
     config = SystemConfig.scaled(num_channels=channels, num_sms=sms)
+    if scenario.num_vcs != config.num_virtual_channels:
+        config = config.replace(num_virtual_channels=scenario.num_vcs)
     system = GPUSystem(
         config,
-        PolicySpec(scenario.policy),
+        policy if policy is not None else PolicySpec(scenario.policy),
         seed=seed,
         scale=scale,
         fast_forward=fast_forward,
@@ -118,6 +148,19 @@ def _build_system(
         loop=scenario.loop_pim,
     )
     return system
+
+
+def _build_system(
+    scenario: BenchScenario,
+    channels: int,
+    sms: int,
+    scale: float,
+    seed: int,
+    fast_forward: bool,
+) -> GPUSystem:
+    return build_scenario_system(
+        scenario, channels, sms, scale, seed, fast_forward=fast_forward
+    )
 
 
 def _timed_run(system: GPUSystem, max_cycles: int) -> Dict[str, float]:

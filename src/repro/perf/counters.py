@@ -28,6 +28,26 @@ class EngineCounters:
         self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
         self.calls[stage] = self.calls.get(stage, 0) + 1
 
+    def reset(self) -> None:
+        """Zero all accumulators (e.g. between tasks on a shared counter)."""
+        self.seconds.clear()
+        self.calls.clear()
+
+    def merge(self, other: "EngineCounters") -> None:
+        """Fold another counter set in (cross-worker/cross-run aggregation)."""
+        self.merge_snapshot({"seconds": other.seconds, "calls": other.calls})
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold in a :meth:`snapshot` dict (the picklable cross-process form)."""
+        for stage, value in snapshot.get("seconds", {}).items():
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + value
+        for stage, value in snapshot.get("calls", {}).items():
+            self.calls[stage] = self.calls.get(stage, 0) + value
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict copy of the accumulators, safe to pickle and merge."""
+        return {"seconds": dict(self.seconds), "calls": dict(self.calls)}
+
     @property
     def total_seconds(self) -> float:
         return sum(self.seconds.values())

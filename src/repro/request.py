@@ -104,12 +104,20 @@ class Request:
     row: int = -1
     column: int = -1
 
-    # Timestamps (cycles); -1 means "not reached yet".
+    # Timestamps (cycles); -1 means "not reached yet".  cycle_l2_arrival is
+    # only stamped when telemetry is enabled (repro.obs).
     cycle_created: int = -1
     cycle_noc_entry: int = -1
+    cycle_l2_arrival: int = -1
     cycle_mc_arrival: int = -1
     cycle_issued: int = -1
     cycle_completed: int = -1
+
+    # Telemetry (repro.obs): the controller's cumulative other-mode cycle
+    # count at MC arrival, and the resolved mode-blocked share of the MC
+    # wait at issue.  Only stamped when telemetry is enabled.
+    mc_blocked_base: int = -1
+    mc_blocked_cycles: int = 0
 
     # Set by the memory controller when the request enters its queues; this
     # is the per-controller arrival order used for oldest-first decisions.

@@ -17,8 +17,12 @@ PathLike = Union[str, Path]
 
 
 def result_to_dict(result: SimResult) -> Dict:
-    """Flatten a SimResult into JSON-serializable data."""
-    return {
+    """Flatten a SimResult into JSON-serializable data.
+
+    The ``telemetry`` key (per-hop latency percentiles, event counts) is
+    only present when the run had telemetry enabled (see :mod:`repro.obs`).
+    """
+    record = {
         "cycles": result.cycles,
         "bank_level_parallelism": result.bank_level_parallelism,
         "row_buffer_hit_rate": result.row_buffer_hit_rate,
@@ -30,6 +34,9 @@ def result_to_dict(result: SimResult) -> Dict:
         "noc_rejects": result.noc_rejects,
         "kernels": [kernel_to_dict(k) for k in result.kernels.values()],
     }
+    if result.telemetry is not None:
+        record["telemetry"] = result.telemetry
+    return record
 
 
 def kernel_to_dict(kernel) -> Dict:

@@ -68,6 +68,9 @@ class SimResult:
     mem_drain_latency_per_switch: float = 0.0
     mode_cycles: Dict[Mode, int] = field(default_factory=dict)
     noc_rejects: int = 0
+    # Telemetry stats summary (Telemetry.summary()); only populated when the
+    # run had telemetry enabled (see repro.obs).
+    telemetry: Optional[Dict] = None
 
     def kernel(self, kernel_id: int) -> KernelResult:
         return self.kernels[kernel_id]

@@ -56,6 +56,7 @@ from repro.gpu.sm import SM
 from repro.noc.islip import ISlipArbiter
 from repro.noc.mesh import MeshFabric
 from repro.noc.vc import VCBuffer
+from repro.obs import events as obs_events
 from repro.pim.executor import PIMExecutor
 from repro.request import Mode, Request
 from repro.sim.activeset import OrderedIndexSet
@@ -234,8 +235,9 @@ class GPUSystem:
         for i, buffer in enumerate(self.sm_buffers):
             self._watch_buffer(buffer, self._xbar_active, i)
 
-        # -- observability (repro.perf) ------------------------------------
+        # -- observability (repro.perf / repro.obs) ------------------------
         self.perf = None  # optional repro.perf.counters.EngineCounters
+        self.telemetry = None  # optional repro.obs.telemetry.Telemetry
         self.steps_executed = 0
         self.cycles_skipped = 0
         self._stages = (
@@ -298,6 +300,14 @@ class GPUSystem:
             self.sms[sm_index].attach(run.instance, slot, self.cycle)
         self._sm_active.update(run.sm_indices)
         run.running = True
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                self.cycle,
+                obs_events.KERNEL_LAUNCH,
+                kernel=run.kernel_id,
+                name=run.spec.name,
+                sms=list(run.sm_indices),
+            )
 
     # -- per-cycle stages -----------------------------------------------------
 
@@ -329,6 +339,8 @@ class GPUSystem:
     def _handle_completion(self, ch: int, request: Request, cycle: int) -> None:
         if request.is_writeback:
             return
+        if self.telemetry is not None:
+            self.telemetry.record_completion(request, cycle)
         if request.is_pim or not request.is_load:
             self._finish_request(request)
             return
@@ -353,11 +365,14 @@ class GPUSystem:
         if not heap or heap[0][0] > cycle:
             return
         sm_active = self._sm_active
+        telemetry = self.telemetry
         while heap and heap[0][0] <= cycle:
             _, _, request = heapq.heappop(heap)
             self.sms[request.source].receive_reply(request, cycle)
             sm_active.add(request.source)  # receive_reply marked it dirty
             self._finish_request(request)
+            if telemetry is not None:
+                telemetry.record_return(request, cycle)
 
     def _finish_request(self, request: Request) -> None:
         self._kernel_inflight[request.kernel_id] -= 1
@@ -404,6 +419,7 @@ class GPUSystem:
         if not active:
             return
         cycle = self.cycle
+        telemetry = self.telemetry
         for ch in active.snapshot():
             buffer = self.input_buffers[ch]
             slice_ = self.l2_slices[ch]
@@ -412,6 +428,8 @@ class GPUSystem:
                 if head.is_pim:
                     if dram_queue.can_push(head):
                         buffer.pop_matching(head)
+                        if telemetry is not None:
+                            head.cycle_l2_arrival = cycle
                         dram_queue.try_push(head)
                         break
                     continue  # PIM VC blocked; try the other VC's head
@@ -421,11 +439,15 @@ class GPUSystem:
                     if outcome == LookupResult.BLOCKED:
                         continue  # MSHRs full: leave at head, try other VC
                     buffer.pop_matching(head)
+                    if telemetry is not None:
+                        head.cycle_l2_arrival = cycle
                     if outcome == LookupResult.HIT:
                         if head.is_load:
                             self._schedule_reply(head, cycle + self.config.l2_latency)
                         else:
                             self._finish_request(head)
+                            if telemetry is not None:
+                                telemetry.record_l2_filtered(head, cycle)
                     elif outcome == LookupResult.MISS_SECONDARY:
                         pass  # merged; replied when the fill returns
                     else:  # MISS_PRIMARY or STORE_FORWARD
@@ -499,6 +521,15 @@ class GPUSystem:
                 self._awaiting_first -= 1
             run.completions += 1
             run.running = False
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    cycle,
+                    obs_events.KERNEL_DRAIN,
+                    kernel=run.kernel_id,
+                    name=run.spec.name,
+                    duration=duration,
+                    completions=run.completions,
+                )
             if run.loop:
                 self._launch(run)
 
@@ -580,6 +611,10 @@ class GPUSystem:
         if target > cycle:
             self.cycles_skipped += target - cycle
             self.cycle = target
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    cycle, obs_events.FAST_FORWARD, start=cycle, skipped=target - cycle
+                )
 
     def enable_perf_counters(self) -> "EngineCounters":
         """Attach per-stage wall-clock counters (see :mod:`repro.perf`)."""
@@ -587,6 +622,51 @@ class GPUSystem:
 
         self.perf = EngineCounters()
         return self.perf
+
+    def enable_telemetry(
+        self,
+        ring_capacity: int = 65536,
+        timeline_interval: Optional[int] = 100,
+        perf_counters: bool = False,
+    ) -> "Telemetry":
+        """Attach request-path telemetry (see :mod:`repro.obs`).
+
+        The unified observability entry point: creates the
+        :class:`~repro.obs.telemetry.Telemetry` hub (latency histograms +
+        event ring), shares it with every memory controller, attaches a
+        :class:`~repro.metrics.timeline.TimelineSampler` (unless one is
+        already attached, or ``timeline_interval`` is None) for the trace
+        writer's queue-occupancy counter tracks, and — with
+        ``perf_counters=True`` — also enables the per-stage wall-clock
+        :class:`~repro.perf.counters.EngineCounters`.
+
+        Telemetry observes but never schedules: an enabled run is
+        bit-identical to a disabled one (``tests/test_telemetry.py``).
+        Call before :meth:`run`; idempotent.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(ring_capacity=ring_capacity)
+        self.telemetry = telemetry
+        if timeline_interval is not None and self.timeline is None:
+            self.attach_timeline(interval=timeline_interval)
+        telemetry.timeline = self.timeline
+        if perf_counters and self.perf is None:
+            self.enable_perf_counters()
+        telemetry.perf = self.perf
+        for controller in self.controllers:
+            controller.telemetry = telemetry
+        for ch, buffer in enumerate(self.input_buffers):
+            buffer.watch_rejects(self._make_reject_emitter(ch))
+        return telemetry
+
+    def _make_reject_emitter(self, ch: int):
+        def on_reject() -> None:
+            self.telemetry.emit(self.cycle, obs_events.NOC_REJECT, channel=ch)
+
+        return on_reject
 
     def run(
         self,
@@ -720,4 +800,6 @@ class GPUSystem:
         )
         result.mode_cycles = mode_cycles
         result.noc_rejects = sum(b.total_rejects for b in self.input_buffers)
+        if self.telemetry is not None:
+            result.telemetry = self.telemetry.summary()
         return result

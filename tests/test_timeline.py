@@ -65,3 +65,33 @@ class TestSampler:
         sampler = TimelineSampler()
         assert sampler.render_strip() == ""
         assert sampler.mode_share()["mem"] == 0.0
+
+    def test_unknown_modes_bucketed_not_crashing(self):
+        sampler = TimelineSampler()
+        _, timeline, _ = run_with_timeline(interval=50)
+        sampler.samples = list(timeline.samples)
+        # Corrupt one sample with a mode name the sampler never emitted.
+        first = sampler.samples[0]
+        sampler.samples[0] = first.__class__(
+            cycle=first.cycle,
+            modes=["weird"] * len(first.modes),
+            mem_queue_occupancy=first.mem_queue_occupancy,
+            pim_queue_occupancy=first.pim_queue_occupancy,
+            noc_occupancy=first.noc_occupancy,
+        )
+        share = sampler.mode_share()
+        assert share.get("other", 0) > 0
+        assert sum(share.values()) == pytest.approx(1.0)
+        strip = sampler.render_strip(channel=0, width=len(sampler.samples))
+        assert "?" in strip
+
+    def test_to_rows_matches_samples(self):
+        _, timeline, _ = run_with_timeline(interval=50)
+        rows = timeline.to_rows()
+        assert len(rows) == len(timeline.samples)
+        for row, sample in zip(rows, timeline.samples):
+            assert row["cycle"] == sample.cycle
+            assert row["modes"] == list(sample.modes)
+            assert row["mem_queue"] == list(sample.mem_queue_occupancy)
+            assert row["pim_queue"] == list(sample.pim_queue_occupancy)
+            assert row["noc"] == list(sample.noc_occupancy)
