@@ -17,7 +17,13 @@ the committed baseline in ``benchmarks/results/BENCH_engine.json``:
   machine-to-machine noise, this gate compares best-of-N against a
   baseline *regenerated on the same machine* (CI reruns the perf smoke
   benchmark first, which rewrites BENCH_engine.json).
-* ``--check all`` runs both on a single set of measurements.
+* ``--check store`` holds the same run within ``STORE_THRESHOLD`` (2%)
+  of the baseline: the result-store integration (``repro.store``) lives
+  entirely in the experiment layer (Runner lookups before a system is
+  built), so a bench run — which never attaches a store — must not get
+  any slower.  A regression here means store code leaked into the cycle
+  engine's request path.
+* ``--check all`` runs every gate on a single set of measurements.
 
 Usage::
 
@@ -38,6 +44,7 @@ from repro.perf.bench import run_engine_bench
 SCENARIO = "saturated_corun"
 SCHEDULER_THRESHOLD = 0.70  # fail below 70% of the committed baseline
 TELEMETRY_THRESHOLD = 0.98  # dormant telemetry hooks must stay within 2%
+STORE_THRESHOLD = 0.98  # dormant result-store hooks must stay within 2%
 BASELINE_PATH = Path(__file__).parent / "results" / "BENCH_engine.json"
 REPEATS = 3  # best-of-N: the guard asks "can it still go fast", not "mean"
 
@@ -56,7 +63,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check",
-        choices=["scheduler", "telemetry", "all"],
+        choices=["scheduler", "telemetry", "store", "all"],
         default="scheduler",
         help="which throughput floor(s) to enforce",
     )
@@ -74,6 +81,7 @@ def main(argv=None) -> int:
     thresholds = {
         "scheduler": SCHEDULER_THRESHOLD,
         "telemetry": TELEMETRY_THRESHOLD,
+        "store": STORE_THRESHOLD,
     }
     selected = list(thresholds) if args.check == "all" else [args.check]
     failed = False

@@ -15,6 +15,7 @@ Figure commands print the same tables the benchmark harness writes to
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -276,6 +277,122 @@ def _canonical_policy(name: Optional[str]) -> Optional[str]:
         )
 
 
+def _parse_shard(text: Optional[str]):
+    """Parse ``--shard i/n`` into a (index, count) pair."""
+    if text is None:
+        return None
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"invalid --shard {text!r}; expected i/n, e.g. 0/3")
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(f"invalid --shard {text!r}; need 0 <= i < n")
+    return index, count
+
+
+def cmd_sweep(args) -> int:
+    """Resumable, shardable benchmark-grid sweep through the result store."""
+    from repro.experiments import (
+        ExperimentScale,
+        collect_from_store,
+        default_grid_tasks,
+        run_sweep,
+        sweep_rows,
+    )
+
+    scale = ExperimentScale(
+        num_channels=args.channels,
+        workload_scale=args.scale,
+        seed=args.seed,
+        starvation_factor=15,
+    )
+    tasks = default_grid_tasks(
+        gpu_subset=args.gpus or None,
+        pim_subset=args.pims or None,
+        policy_names=args.policies or None,
+        vc_configs=tuple(args.vcs),
+    )
+    shard = _parse_shard(args.shard)
+
+    if args.merge_only:
+        if args.cache_dir is None:
+            raise SystemExit("--merge-only requires --cache-dir")
+        outcomes = collect_from_store(scale, tasks, args.cache_dir)
+        hits, misses = len(outcomes), 0
+    else:
+        report = run_sweep(
+            scale,
+            tasks,
+            store_dir=args.cache_dir,
+            max_workers=args.workers,
+            shard=shard,
+            fresh=not args.resume,
+        )
+        hits, misses = report.hits, report.misses
+        if shard is not None:
+            ran = report.completed
+            print(
+                f"shard {args.shard}: {ran}/{len(tasks)} cells "
+                f"({hits} cache hits, {misses} simulated)"
+            )
+            if args.cache_dir:
+                print(
+                    "merge with: repro sweep --merge-only --cache-dir "
+                    f"{args.cache_dir} (same grid/scale args)"
+                )
+            return 1 if (args.fail_on_miss and misses) else 0
+        outcomes = report.completed_outcomes()
+
+    rows = sweep_rows(outcomes)
+    table = format_table(rows, list(rows[0]))
+    if args.out == "-":
+        print(table)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(table + "\n")
+        print(f"table written to {args.out}")
+    print(f"cells: {len(rows)} ({hits} cache hits, {misses} simulated)")
+    if args.fail_on_miss and misses:
+        print(f"FAIL: expected a fully warm cache but {misses} cells simulated")
+        return 1
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Inspect and maintain a content-addressed result store."""
+    from repro.store import ResultStore, code_version
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "ls":
+        count = 0
+        for entry in store.entries():
+            kind = entry.kind or "?"
+            label = entry.label or "?"
+            print(
+                f"{entry.key[:16]}  {entry.status:8s}"
+                f"{kind:12s}{label}  ({entry.size} B)"
+            )
+            count += 1
+        print(f"{count} entries (code version {code_version()})")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        ok, stale, corrupt = (len(report[s]) for s in ("ok", "stale", "corrupt"))
+        print(f"ok: {ok}  stale: {stale}  corrupt: {corrupt}")
+        for entry in report["corrupt"]:
+            print(f"  corrupt: {entry.path}")
+        return 1 if corrupt else 0
+    if args.action == "gc":
+        removed = store.gc()
+        print(
+            f"removed {removed['stale']} stale and {removed['corrupt']} "
+            "corrupt entries"
+        )
+        return 0
+    raise ValueError(args.action)  # pragma: no cover - argparse restricts
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -392,6 +509,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(trace)
     trace.set_defaults(func=cmd_trace)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the benchmark grid through the resumable result store",
+    )
+    sweep.add_argument("--gpus", nargs="*", choices=rodinia_ids())
+    sweep.add_argument("--pims", nargs="*", choices=pim_ids())
+    sweep.add_argument("--policies", nargs="*", choices=PAPER_POLICY_ORDER)
+    sweep.add_argument(
+        "--vcs", nargs="*", type=int, default=[1, 2], choices=(1, 2),
+        help="VC configurations to include (default: 1 2)",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store root; completed cells persist here as they finish",
+    )
+    sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="i/n",
+        help="run only this round-robin shard of the grid (e.g. 0/3)",
+    )
+    resume = sweep.add_mutually_exclusive_group()
+    resume.add_argument(
+        "--resume",
+        dest="resume",
+        action="store_true",
+        default=True,
+        help="skip cells already in the store (default)",
+    )
+    resume.add_argument(
+        "--fresh",
+        dest="resume",
+        action="store_false",
+        help="recompute every cell (still writes results through the store)",
+    )
+    sweep.add_argument(
+        "--merge-only",
+        action="store_true",
+        help="assemble the full table from the store without running anything",
+    )
+    sweep.add_argument(
+        "--fail-on-miss",
+        action="store_true",
+        help="exit 1 if any cell had to be simulated (determinism canary)",
+    )
+    sweep.add_argument("--out", default="-", help="table output file ('-' = stdout)")
+    _add_scale_args(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    store = sub.add_parser("store", help="inspect the content-addressed result store")
+    store.add_argument("action", choices=("ls", "gc", "verify"))
+    store.add_argument(
+        "--cache-dir", required=True, help="result-store root directory"
+    )
+    store.set_defaults(func=cmd_store)
+
     report = sub.add_parser("report", help="generate a markdown reproduction report")
     report.add_argument("--out", default="-", help="output file ('-' = stdout)")
     report.add_argument("--gpus", nargs="*", choices=rodinia_ids())
@@ -407,7 +582,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if not args.profile:
-        return args.func(args)
+        try:
+            return args.func(args)
+        except BrokenPipeError:
+            # Downstream pipe closed early (e.g. `repro store ls | head`):
+            # stop quietly instead of tracebacking.  Detach stdout so the
+            # interpreter's exit-time flush doesn't raise again.
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            return 0
 
     import cProfile
     import pstats

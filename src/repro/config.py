@@ -99,6 +99,21 @@ class SystemConfig:
         if self.pim_rf_size % 2:
             raise ValueError("PIM RF is split between two banks; size must be even")
 
+    def fingerprint_payload(self) -> dict:
+        """Canonical identity of this configuration for the result store.
+
+        Every field participates — the fields *are* the simulation input;
+        derived properties (mapper, banks_per_fu) are functions of them.
+        Spelled out rather than relying on generic dataclass traversal so
+        that the cache-key contract is explicit and stays stable under
+        refactors of :mod:`repro.store.fingerprint`.
+        """
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["__config__"] = type(self).__name__
+        return payload
+
     @property
     def mapper(self) -> AddressMapper:
         return AddressMapper(self.address_map)

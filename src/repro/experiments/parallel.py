@@ -1,4 +1,4 @@
-"""Parallel execution of competitive grids.
+"""Parallel, resumable execution of competitive grids.
 
 The full 20x9x9x2 grid of Figure 8 is thousands of independent
 simulations; this module fans them out over worker processes.  Each task
@@ -6,9 +6,17 @@ is self-contained — (gpu_id, pim_id, policy name+params, vcs, scale) —
 and each worker process builds one Runner in its initializer and reuses
 it for every task it executes, so nothing unpicklable crosses the
 process boundary and standalone baselines are deduplicated across a
-worker's whole task stream (not just within one task).  Pass
-``cache_path`` to additionally share baselines across workers through
-the disk cache.
+worker's whole task stream (not just within one task).
+
+With ``store_dir`` set, every completed cell (and every standalone
+baseline) is written through a content-addressed
+:class:`repro.store.ResultStore` *as it finishes* — atomic rename, so a
+crash or Ctrl-C loses at most the cells still in flight.  Re-invoking
+the same grid then hits the store for completed cells and only simulates
+the remainder; ``shard=(i, n)`` splits a grid across machines that share
+(or later merge) a store; :func:`collect_from_store` reassembles the
+full table without running anything.  Pass ``cache_path`` to
+additionally share the legacy duration cache across workers.
 """
 
 from __future__ import annotations
@@ -35,6 +43,10 @@ class GridTask:
     def policy(self) -> PolicySpec:
         return PolicySpec(self.policy_name, **dict(self.policy_params))
 
+    @property
+    def label(self) -> str:
+        return f"{self.gpu_id}|{self.pim_id}|{self.policy_name}|vc{self.num_vcs}"
+
 
 def make_tasks(
     gpu_subset: Sequence[str],
@@ -59,6 +71,74 @@ def make_tasks(
     return tasks
 
 
+def task_store_key(scale: ExperimentScale, task: GridTask) -> str:
+    """Content address of one grid cell, computable without a Runner."""
+    from repro.store import competitive_payload, fingerprint
+    from repro.workloads import get_gpu_kernel, get_pim_kernel
+
+    return fingerprint(
+        competitive_payload(
+            scale,
+            scale.config(task.num_vcs),
+            task.gpu_id,
+            task.pim_id,
+            task.policy_name,
+            dict(task.policy_params),
+            task.num_vcs,
+            gpu_spec=get_gpu_kernel(task.gpu_id),
+            pim_spec=get_pim_kernel(task.pim_id),
+        )
+    )
+
+
+def shard_indices(total: int, shard: Optional[Tuple[int, int]]) -> List[int]:
+    """Round-robin assignment of task indices to one shard.
+
+    ``shard=(i, n)`` selects indices ``j`` with ``j % n == i`` — the
+    deterministic split, independent of execution order, that lets the
+    merged table be reassembled in original task order.
+    """
+    if shard is None:
+        return list(range(total))
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"invalid shard {index}/{count}")
+    return [j for j in range(total) if j % count == index]
+
+
+class SweepAborted(RuntimeError):
+    """Raised by the cell-count abort hook (crash-resume testing)."""
+
+    def __init__(self, completed: int) -> None:
+        super().__init__(f"sweep aborted after {completed} cells")
+        self.completed = completed
+
+
+@dataclass
+class GridReport:
+    """Outcome of one (possibly sharded/resumed) grid invocation.
+
+    ``outcomes`` is aligned with ``tasks``; entries not run by this
+    invocation (other shards) are ``None``.  ``hits`` counts cells (and
+    memoized repeats) satisfied without simulating; ``misses`` counts
+    cells that ran.
+    """
+
+    tasks: List[GridTask]
+    outcomes: List[Optional[CompetitiveOutcome]]
+    hits: int = 0
+    misses: int = 0
+    counters: Optional[object] = None  # EngineCounters when collect_perf
+    shard: Optional[Tuple[int, int]] = None
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome is not None)
+
+    def completed_outcomes(self) -> List[CompetitiveOutcome]:
+        return [outcome for outcome in self.outcomes if outcome is not None]
+
+
 #: Per-process Runner, created once by :func:`_init_worker` and shared by
 #: every task the worker executes (its in-memory caches deduplicate the
 #: standalone baselines the tasks have in common).
@@ -66,23 +146,34 @@ _WORKER_RUNNER: Optional[Runner] = None
 
 
 def _init_worker(
-    scale_fields: Dict, cache_path: Optional[str], perf_counters: bool = False
+    scale_fields: Dict,
+    cache_path: Optional[str],
+    perf_counters: bool = False,
+    store_dir: Optional[str] = None,
+    fresh: bool = False,
 ) -> None:
     """Process-pool initializer: build this worker's Runner once."""
     global _WORKER_RUNNER
+    store = None
+    if store_dir is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(store_dir, read_enabled=not fresh)
     _WORKER_RUNNER = Runner(
         ExperimentScale(**scale_fields),
         cache_path=cache_path,
         perf_counters=perf_counters,
+        store=store,
     )
 
 
-def _run_task(task: GridTask) -> Tuple[Dict, Optional[Dict]]:
+def _run_task(task: GridTask) -> Dict:
     """Worker entry point (module-level for pickling).
 
-    Returns ``(outcome_fields, perf_snapshot)``; the snapshot is the
-    task's own engine wall-clock (the shared counter is reset before the
-    run) or ``None`` when counters are disabled.
+    Returns ``{"outcome": fields, "perf": snapshot|None, "store": how}``;
+    the snapshot is the task's own engine wall-clock plus store hit/miss
+    counts (the shared counter is reset before the run), and ``how`` is
+    the runner's ``store_last`` ("hit"/"miss"/"memo"/None).
     """
     perf = _WORKER_RUNNER.perf
     if perf is not None:
@@ -90,7 +181,11 @@ def _run_task(task: GridTask) -> Tuple[Dict, Optional[Dict]]:
     outcome = _WORKER_RUNNER.competitive(
         task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs
     )
-    return asdict(outcome), (perf.snapshot() if perf is not None else None)
+    return {
+        "outcome": asdict(outcome),
+        "perf": perf.snapshot() if perf is not None else None,
+        "store": _WORKER_RUNNER.store_last,
+    }
 
 
 def run_grid_parallel(
@@ -99,37 +194,134 @@ def run_grid_parallel(
     max_workers: int = 4,
     cache_path: Optional[str] = None,
     collect_perf: bool = False,
+    store_dir: Optional[str] = None,
+    fresh: bool = False,
 ):
     """Run tasks across processes; results come back in task order.
 
     With ``collect_perf=True`` every worker times its engine stages and
     the return value becomes ``(outcomes, EngineCounters)`` where the
-    counters are the merge of all per-task snapshots.
+    counters are the merge of all per-task snapshots.  With ``store_dir``
+    set, cells are written through (and satisfied from) the
+    content-addressed result store — see :func:`run_grid_resumable` for
+    the sharded/abortable variant that also reports hit/miss counts.
+    """
+    report = run_grid_resumable(
+        scale,
+        tasks,
+        max_workers=max_workers,
+        cache_path=cache_path,
+        collect_perf=collect_perf,
+        store_dir=store_dir,
+        fresh=fresh,
+    )
+    outcomes = report.outcomes
+    if not collect_perf:
+        return outcomes
+    return outcomes, report.counters
+
+
+def run_grid_resumable(
+    scale: ExperimentScale,
+    tasks: Sequence[GridTask],
+    max_workers: int = 1,
+    cache_path: Optional[str] = None,
+    collect_perf: bool = False,
+    store_dir: Optional[str] = None,
+    fresh: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
+    abort_after: Optional[int] = None,
+) -> GridReport:
+    """The resumable/sharded grid engine behind :func:`run_grid_parallel`.
+
+    Completed cells stream into the store as they finish, so aborting —
+    via Ctrl-C, a crash, or the ``abort_after`` cell-count hook (which
+    raises :class:`SweepAborted` after N cells, simulating a kill) —
+    never loses finished work.  ``shard=(i, n)`` runs only every n-th
+    task starting at i; merged results for the full grid come from
+    :func:`collect_from_store`.
     """
     if max_workers < 1:
         raise ValueError("max_workers must be positive")
+    tasks = list(tasks)
+    selected = shard_indices(len(tasks), shard)
+    subset = [tasks[j] for j in selected]
     global _WORKER_RUNNER
     scale_fields = asdict(scale)
+    init_args = (scale_fields, cache_path, collect_perf, store_dir, fresh)
+
+    report = GridReport(
+        tasks=tasks, outcomes=[None] * len(tasks), shard=shard
+    )
+    if collect_perf:
+        from repro.perf.counters import EngineCounters
+
+        report.counters = EngineCounters()
+
+    def fold(position: int, record: Dict) -> None:
+        report.outcomes[selected[position]] = CompetitiveOutcome(**record["outcome"])
+        if record["store"] in ("hit", "memo"):
+            report.hits += 1
+        else:
+            report.misses += 1
+        if report.counters is not None and record["perf"]:
+            report.counters.merge_snapshot(record["perf"])
+
+    completed = 0
     if max_workers == 1:
-        _init_worker(scale_fields, cache_path, collect_perf)
+        _init_worker(*init_args)
         try:
-            raw = [_run_task(task) for task in tasks]
+            for position, task in enumerate(subset):
+                fold(position, _run_task(task))
+                completed += 1
+                if abort_after is not None and completed >= abort_after:
+                    raise SweepAborted(completed)
         finally:
             _WORKER_RUNNER = None
     else:
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(scale_fields, cache_path, collect_perf),
+            initargs=init_args,
         ) as pool:
-            raw = list(pool.map(_run_task, tasks))
-    outcomes = [CompetitiveOutcome(**record) for record, _ in raw]
-    if not collect_perf:
-        return outcomes
-    from repro.perf.counters import EngineCounters
+            try:
+                for position, record in enumerate(pool.map(_run_task, subset)):
+                    fold(position, record)
+                    completed += 1
+                    if abort_after is not None and completed >= abort_after:
+                        raise SweepAborted(completed)
+            except SweepAborted:
+                # Simulated kill: drop queued cells (finished ones are
+                # already persisted in the store) and surface the abort.
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+    return report
 
-    merged = EngineCounters()
-    for _, snapshot in raw:
-        if snapshot:
-            merged.merge_snapshot(snapshot)
-    return outcomes, merged
+
+def collect_from_store(
+    scale: ExperimentScale, tasks: Sequence[GridTask], store_dir: str
+) -> List[CompetitiveOutcome]:
+    """Reassemble a full grid from the store, in task order, running nothing.
+
+    Raises ``KeyError`` naming the missing cells if any shard has not
+    completed — merging a partial grid silently would produce a table
+    that *looks* final but is not.
+    """
+    from repro.store import ResultStore
+
+    store = ResultStore(store_dir)
+    outcomes: List[CompetitiveOutcome] = []
+    missing: List[str] = []
+    for task in tasks:
+        fields = store.get(task_store_key(scale, task), kind="competitive")
+        if fields is None:
+            missing.append(task.label)
+            continue
+        outcomes.append(CompetitiveOutcome(**fields))
+    if missing:
+        raise KeyError(
+            f"{len(missing)} of {len(tasks)} cells missing from {store_dir}: "
+            + ", ".join(missing[:5])
+            + ("..." if len(missing) > 5 else "")
+        )
+    return outcomes

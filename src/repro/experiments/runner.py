@@ -119,6 +119,7 @@ class Runner:
         scale: ExperimentScale = ExperimentScale(),
         cache_path: Optional[str] = None,
         perf_counters: bool = False,
+        store=None,
     ):
         self.scale = scale
         #: Shared EngineCounters across every system this runner builds
@@ -128,6 +129,16 @@ class Runner:
             from repro.perf.counters import EngineCounters
 
             self.perf = EngineCounters()
+        #: Optional content-addressed result store (repro.store): every
+        #: completed standalone SimResult and competitive outcome is
+        #: written through it, and looked up before simulating.
+        self.store = store
+        if self.store is not None and self.store.counters is None:
+            self.store.counters = self.perf
+        #: How the last competitive() call was satisfied: "memo" (this
+        #: runner's in-memory cache), "hit" (result store), "miss" (fresh
+        #: simulation), or None when no store is attached.
+        self.store_last: Optional[str] = None
         self._standalone_cache: Dict[str, SimResult] = {}
         self._competitive_cache: Dict[Tuple[str, str, str, int], CompetitiveOutcome] = {}
         self._duration_cache: Dict[str, int] = {}
@@ -161,11 +172,31 @@ class Runner:
 
     # -- standalone runs ---------------------------------------------------
 
+    def _standalone_store_key(self, label: str, spec: KernelSpec, sms: int, num_vcs: int) -> str:
+        from repro.store import fingerprint, standalone_payload
+
+        return fingerprint(
+            standalone_payload(
+                self.scale, self.scale.config(num_vcs), label, spec, sms, num_vcs
+            )
+        )
+
     def _run_standalone(self, label: str, spec: KernelSpec, sms: int, num_vcs: int) -> SimResult:
         key = self._standalone_key(label, sms, num_vcs)
         cached = self._standalone_cache.get(key)
         if cached is not None:
             return cached
+        store_key = None
+        if self.store is not None:
+            from repro.sim.export import result_from_dict
+
+            store_key = self._standalone_store_key(label, spec, sms, num_vcs)
+            payload = self.store.get(store_key, kind="standalone")
+            if payload is not None:
+                result = result_from_dict(payload)
+                self._standalone_cache[key] = result
+                self._duration_cache[key] = result.kernels[0].first_duration
+                return result
         system = self._build_system(self.scale.config(num_vcs), BASELINE_POLICY)
         system.add_kernel(spec, num_sms=sms)
         result = system.run(max_cycles=self.scale.max_cycles)
@@ -174,6 +205,14 @@ class Runner:
         self._standalone_cache[key] = result
         self._duration_cache[key] = result.kernels[0].first_duration
         self._save_cache()
+        if self.store is not None:
+            from repro.sim.export import result_to_dict
+
+            self.store.put(
+                store_key,
+                result_to_dict(result),
+                meta={"kind": "standalone", "label": key},
+            )
         return result
 
     def standalone_duration(self, label: str, spec: KernelSpec, sms: int, num_vcs: int) -> int:
@@ -202,7 +241,17 @@ class Runner:
         cache_key = (gid, pid, repr(policy), num_vcs)
         cached = self._competitive_cache.get(cache_key)
         if cached is not None:
+            self.store_last = "memo" if self.store is not None else None
             return cached
+        store_key = None
+        if self.store is not None:
+            store_key = self.competitive_store_key(gid, pid, policy, num_vcs)
+            fields = self.store.get(store_key, kind="competitive")
+            if fields is not None:
+                outcome = CompetitiveOutcome(**fields)
+                self._competitive_cache[cache_key] = outcome
+                self.store_last = "hit"
+                return outcome
         s = self.scale
         gpu_alone = self.standalone_duration(gid, get_gpu_kernel(gid), s.gpu_sms_full, num_vcs)
         pim_alone = self.standalone_duration(pid, get_pim_kernel(pid), s.pim_sms, num_vcs)
@@ -232,7 +281,39 @@ class Runner:
             cycles=result.cycles,
         )
         self._competitive_cache[cache_key] = outcome
+        if self.store is not None:
+            from dataclasses import asdict
+
+            self.store.put(
+                store_key,
+                asdict(outcome),
+                meta={
+                    "kind": "competitive",
+                    "label": f"{gid}|{pid}|{policy.label()}|vc{num_vcs}",
+                },
+            )
+            self.store_last = "miss"
         return outcome
+
+    def competitive_store_key(
+        self, gid: str, pid: str, policy: PolicySpec, num_vcs: int
+    ) -> str:
+        """Content address of one competitive grid cell (see repro.store)."""
+        from repro.store import competitive_payload, fingerprint
+
+        return fingerprint(
+            competitive_payload(
+                self.scale,
+                self.scale.config(num_vcs),
+                gid,
+                pid,
+                policy.name,
+                policy.params,
+                num_vcs,
+                gpu_spec=get_gpu_kernel(gid),
+                pim_spec=get_pim_kernel(pid),
+            )
+        )
 
     def gpu_pair(self, gid_big: str, gid_small: str, policy: PolicySpec = BASELINE_POLICY) -> float:
         """Speedup of ``gid_big`` on the co-run SMs while ``gid_small`` runs

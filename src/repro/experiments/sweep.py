@@ -19,12 +19,92 @@ and independent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.policies import PolicySpec
-from repro.experiments.parallel import GridTask, make_tasks, run_grid_parallel
-from repro.experiments.runner import CompetitiveOutcome, Runner
+from repro.core.policies import PAPER_POLICY_ORDER, PolicySpec
+from repro.experiments.parallel import (
+    GridReport,
+    GridTask,
+    make_tasks,
+    run_grid_parallel,
+    run_grid_resumable,
+)
+from repro.experiments.runner import CompetitiveOutcome, ExperimentScale, Runner
 from repro.metrics.stats import arithmetic_mean
+
+#: The EXPERIMENTS.md "setup of record" subsets for the default benchmark
+#: grid (GPU x PIM x all nine policies x VC1/VC2).
+DEFAULT_GPU_SUBSET: Tuple[str, ...] = ("G6", "G17", "G19")
+DEFAULT_PIM_SUBSET: Tuple[str, ...] = ("P1", "P2", "P7")
+
+
+def default_grid_tasks(
+    gpu_subset: Optional[Sequence[str]] = None,
+    pim_subset: Optional[Sequence[str]] = None,
+    policy_names: Optional[Sequence[str]] = None,
+    vc_configs: Sequence[int] = (1, 2),
+) -> List[GridTask]:
+    """The default benchmark grid as store-addressable tasks."""
+    policies = [PolicySpec(name) for name in (policy_names or PAPER_POLICY_ORDER)]
+    return make_tasks(
+        gpu_subset or DEFAULT_GPU_SUBSET,
+        pim_subset or DEFAULT_PIM_SUBSET,
+        policies,
+        tuple(vc_configs),
+    )
+
+
+def run_sweep(
+    scale: ExperimentScale,
+    tasks: Sequence[GridTask],
+    store_dir: Optional[str] = None,
+    max_workers: int = 1,
+    shard: Optional[Tuple[int, int]] = None,
+    fresh: bool = False,
+    collect_perf: bool = False,
+    abort_after: Optional[int] = None,
+) -> GridReport:
+    """Run a (resumable, shardable) sweep over ``tasks``.
+
+    Every completed cell is written through the content-addressed store
+    as it finishes, so an interrupted invocation resumes where it left
+    off and shards merge via
+    :func:`repro.experiments.parallel.collect_from_store`.
+    """
+    return run_grid_resumable(
+        scale,
+        tasks,
+        max_workers=max_workers,
+        store_dir=store_dir,
+        shard=shard,
+        fresh=fresh,
+        collect_perf=collect_perf,
+        abort_after=abort_after,
+    )
+
+
+def sweep_rows(outcomes: Sequence[CompetitiveOutcome]) -> List[Dict]:
+    """Flatten outcomes into the sweep's canonical table rows.
+
+    This is the merged table the byte-identity guarantees are stated
+    over: resumed, sharded, and uninterrupted runs of the same grid all
+    produce exactly these rows.
+    """
+    return [
+        {
+            "gpu": o.gpu_id,
+            "pim": o.pim_id,
+            "policy": o.policy,
+            "vcs": o.num_vcs,
+            "gpu_speedup": o.gpu_speedup,
+            "pim_speedup": o.pim_speedup,
+            "fairness": o.fairness,
+            "throughput": o.throughput,
+            "switches": o.mode_switches,
+            "cycles": o.cycles,
+        }
+        for o in outcomes
+    ]
 
 
 def _run_point(
@@ -34,12 +114,17 @@ def _run_point(
     pim_subset: Sequence[str],
     num_vcs: int,
     max_workers: int,
+    store_dir: Optional[str] = None,
 ) -> List[CompetitiveOutcome]:
     """Run one sweep point's competitive grid (gpu x pim) for ``spec``."""
     tasks: List[GridTask] = make_tasks(gpu_subset, pim_subset, [spec], (num_vcs,))
-    if max_workers > 1:
+    if max_workers > 1 or store_dir is not None:
         return run_grid_parallel(
-            runner.scale, tasks, max_workers=max_workers, cache_path=runner.cache_path
+            runner.scale,
+            tasks,
+            max_workers=max_workers,
+            cache_path=runner.cache_path,
+            store_dir=store_dir,
         )
     return [
         runner.competitive(task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs)
@@ -57,6 +142,7 @@ def sweep_policy_parameter(
     num_vcs: int = 2,
     base_params: Optional[Dict] = None,
     max_workers: int = 1,
+    store_dir: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """Sweep one constructor parameter of a policy over a competitive grid.
 
@@ -67,7 +153,9 @@ def sweep_policy_parameter(
         params = dict(base_params or {})
         params[parameter] = value
         spec = PolicySpec(policy_name, **params)
-        runs = _run_point(runner, spec, gpu_subset, pim_subset, num_vcs, max_workers)
+        runs = _run_point(
+            runner, spec, gpu_subset, pim_subset, num_vcs, max_workers, store_dir
+        )
         rows.append(
             {
                 "value": value,
@@ -85,12 +173,15 @@ def sweep_f3fs_caps(
     pim_subset: Sequence[str],
     num_vcs: int = 1,
     max_workers: int = 1,
+    store_dir: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """Sweep (MEM CAP, PIM CAP) pairs for F3FS (Section VII-B tuning)."""
     rows: List[Dict[str, float]] = []
     for mem_cap, pim_cap in cap_pairs:
         spec = PolicySpec("F3FS", mem_cap=mem_cap, pim_cap=pim_cap)
-        runs = _run_point(runner, spec, gpu_subset, pim_subset, num_vcs, max_workers)
+        runs = _run_point(
+            runner, spec, gpu_subset, pim_subset, num_vcs, max_workers, store_dir
+        )
         rows.append(
             {
                 "mem_cap": mem_cap,

@@ -28,6 +28,15 @@ class EngineCounters:
         self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
         self.calls[stage] = self.calls.get(stage, 0) + 1
 
+    def count(self, stage: str, n: int = 1) -> None:
+        """Record occurrences without wall-clock time (e.g. ``store.hit``).
+
+        Count-only stages ride the same snapshot/merge machinery as timed
+        stages, so cache hit/miss totals aggregate across workers exactly
+        like engine timings do.
+        """
+        self.calls[stage] = self.calls.get(stage, 0) + n
+
     def reset(self) -> None:
         """Zero all accumulators (e.g. between tasks on a shared counter)."""
         self.seconds.clear()

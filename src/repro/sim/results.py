@@ -51,6 +51,16 @@ class KernelResult:
         """DRAM request arrival rate (requests per cycle), Fig 4b / Fig 6."""
         return self.mc_arrivals / cycles if cycles else 0.0
 
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "KernelResult":
+        """Rebuild from an exported dict, ignoring derived/extra fields."""
+        fields = {
+            "kernel_id", "name", "is_pim", "first_duration", "completions",
+            "requests_injected", "mc_arrivals", "l2_accesses", "l2_hits",
+            "dram_row_hits", "dram_row_misses", "dram_row_conflicts",
+        }
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
 
 @dataclass
 class SimResult:
@@ -87,3 +97,32 @@ class SimResult:
 
     def durations(self) -> List[int]:
         return [k.first_duration for k in self.kernels.values() if k.first_duration is not None]
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "SimResult":
+        """Rebuild from :func:`repro.sim.export.result_to_dict` output.
+
+        The inverse of the JSON export (used by the result store): mode
+        keys come back as :class:`Mode` members and kernels re-key by id,
+        so ``from_payload(result_to_dict(r)) == r`` for any completed run
+        (telemetry summaries survive verbatim).
+        """
+        result = cls(
+            cycles=payload["cycles"],
+            bank_level_parallelism=payload.get("bank_level_parallelism", 0.0),
+            row_buffer_hit_rate=payload.get("row_buffer_hit_rate", 0.0),
+            mode_switches=payload.get("mode_switches", 0),
+            switches_to_pim=payload.get("switches_to_pim", 0),
+            additional_conflicts_per_switch=payload.get("additional_conflicts_per_switch", 0.0),
+            mem_drain_latency_per_switch=payload.get("mem_drain_latency_per_switch", 0.0),
+            mode_cycles={
+                Mode(mode): cycles
+                for mode, cycles in payload.get("mode_cycles", {}).items()
+            },
+            noc_rejects=payload.get("noc_rejects", 0),
+            telemetry=payload.get("telemetry"),
+        )
+        for kernel_payload in payload.get("kernels", []):
+            kernel = KernelResult.from_payload(kernel_payload)
+            result.kernels[kernel.kernel_id] = kernel
+        return result

@@ -1,0 +1,238 @@
+"""Canonical fingerprints for simulation inputs.
+
+A grid cell is identified by *what* was simulated, never by *when* or
+*where*: the fingerprint of (system configuration, workload descriptor,
+seed, policy + parameters, code version) is the content address under
+which its result is stored (see :mod:`repro.store.disk`).  Two processes
+that would run the same simulation must therefore derive the same key,
+which drives every rule here:
+
+* **Canonical form first.**  Inputs are reduced to a tree of JSON
+  scalars, lists, and string-keyed dicts by :func:`canonicalize`; the
+  fingerprint is the SHA-256 of its compact JSON with sorted keys.  Dict
+  insertion order, set iteration order, and ``PYTHONHASHSEED`` cannot
+  leak into the key.
+* **Defaults are resolved.**  ``PolicySpec("F3FS")`` and
+  ``PolicySpec("F3FS", mem_cap=4)`` (4 being the default) describe the
+  same simulation; :func:`canonical_policy` fills every constructor
+  default so they hash equal.  Dataclasses (``SystemConfig``,
+  ``ExperimentScale``, kernel specs) carry their defaults in their
+  fields, so plain field extraction already canonicalizes them.
+* **Code is part of the key.**  Simulator changes change results, so
+  :func:`code_version` — a digest of every ``repro`` source file, or the
+  ``REPRO_CODE_VERSION`` override — is folded into every key.  Entries
+  written by older code become unreachable (and are reaped by
+  ``repro store gc``) instead of serving stale results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+import json
+import math
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Environment override for the code-version key component (tests, or
+#: deployments that pin a release id instead of hashing sources).
+CODE_VERSION_ENV = "REPRO_CODE_VERSION"
+
+#: Bump when the store's on-disk document layout changes; old documents
+#: are then treated as stale rather than misread.
+STORE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# canonical form
+# ---------------------------------------------------------------------------
+
+
+def canonicalize(obj):
+    """Reduce ``obj`` to a deterministic JSON-serializable tree.
+
+    Handles scalars, enums, numpy scalars, lists/tuples, sets (sorted by
+    their canonical encoding), dicts (string-coerced sorted keys), and
+    dataclass instances (class name + every field, so defaults are always
+    explicit).  Objects may instead supply a ``fingerprint_payload()``
+    method returning their canonical description.  Anything else raises
+    ``TypeError`` — an unknown type silently hashed by ``repr`` could
+    smuggle memory addresses into the key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            return {"__float__": repr(obj)}
+        return obj
+    if hasattr(obj, "fingerprint_payload"):
+        return canonicalize(obj.fingerprint_payload())
+    if isinstance(obj, enum.Enum):
+        return canonicalize(obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, "fields": fields}
+    if isinstance(obj, dict):
+        out: Dict[str, object] = {}
+        for key, value in obj.items():
+            if isinstance(key, str):
+                skey = key
+            else:
+                skey = canonical_json(key)
+            if skey in out:
+                raise ValueError(f"canonical key collision for {key!r}")
+            out[skey] = canonicalize(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        encoded = sorted(canonical_json(item) for item in obj)
+        return {"__set__": encoded}
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    item = getattr(obj, "item", None)  # numpy scalar
+    if callable(item) and getattr(obj, "shape", None) == ():
+        return canonicalize(obj.item())
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj) -> str:
+    """Compact, key-sorted JSON of the canonical form of ``obj``."""
+    return json.dumps(
+        canonicalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def fingerprint(obj) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def checksum(obj) -> str:
+    """Content checksum used to detect corrupted/truncated store files."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# code version
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=1)
+def _source_version() -> str:
+    """Digest of every ``repro`` source file (name + content)."""
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def code_version() -> str:
+    """The code-version key component (env override, else source digest)."""
+    override = os.environ.get(CODE_VERSION_ENV)
+    if override:
+        return override
+    return _source_version()
+
+
+# ---------------------------------------------------------------------------
+# simulation-input payloads
+# ---------------------------------------------------------------------------
+
+
+def canonical_policy(name: str, params: Optional[Dict] = None) -> Dict:
+    """Policy name + parameters with every constructor default resolved.
+
+    ``PolicySpec("BLISS")`` and ``PolicySpec("BLISS", threshold=4)`` (the
+    default) canonicalize identically; any non-default value shows up as
+    a differing field.  Unknown policies (not in the registry) keep their
+    given params verbatim rather than failing — custom registered
+    factories may be ``**kwargs``-style.
+    """
+    from repro.core.policies import _REGISTRY
+
+    resolved = dict(params or {})
+    try:
+        factory = _REGISTRY[name]
+        signature = inspect.signature(factory.__init__ if inspect.isclass(factory) else factory)
+        for pname, parameter in signature.parameters.items():
+            if pname == "self" or parameter.default is inspect.Parameter.empty:
+                continue
+            resolved.setdefault(pname, parameter.default)
+    except (KeyError, ValueError, TypeError):
+        pass
+    return {"name": name, "params": resolved}
+
+
+def workload_descriptor(spec) -> Dict:
+    """Canonical description of a kernel spec (the workload's identity).
+
+    Kernel specs are dataclasses whose fields are the workload model's
+    parameters; non-dataclass specs fall back to (class, name, kind) and
+    rely on the code-version component for their behaviour.
+    """
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        return {"spec": canonicalize(spec)}
+    return {
+        "spec": {
+            "__class__": type(spec).__name__,
+            "name": spec.name,
+            "kind": spec.kind,
+        }
+    }
+
+
+def standalone_payload(scale, config, label: str, spec, sms: int, num_vcs: int) -> Dict:
+    """Key payload for one standalone (baseline) simulation."""
+    return {
+        "kind": "standalone",
+        "schema": STORE_SCHEMA,
+        "code": code_version(),
+        "scale": canonicalize(scale),
+        "config": canonicalize(config),
+        "label": label,
+        "workload": workload_descriptor(spec),
+        "sms": sms,
+        "num_vcs": num_vcs,
+    }
+
+
+def competitive_payload(
+    scale,
+    config,
+    gpu_id: str,
+    pim_id: str,
+    policy_name: str,
+    policy_params: Optional[Dict],
+    num_vcs: int,
+    gpu_spec=None,
+    pim_spec=None,
+) -> Dict:
+    """Key payload for one competitive grid cell."""
+    payload = {
+        "kind": "competitive",
+        "schema": STORE_SCHEMA,
+        "code": code_version(),
+        "scale": canonicalize(scale),
+        "config": canonicalize(config),
+        "gpu": gpu_id,
+        "pim": pim_id,
+        "policy": canonical_policy(policy_name, policy_params),
+        "num_vcs": num_vcs,
+    }
+    if gpu_spec is not None:
+        payload["gpu_workload"] = workload_descriptor(gpu_spec)
+    if pim_spec is not None:
+        payload["pim_workload"] = workload_descriptor(pim_spec)
+    return payload

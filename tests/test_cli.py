@@ -109,6 +109,77 @@ class TestCommands:
         assert "gaussian" in out
         assert "function calls" in out
 
+    def test_sweep_resume_and_store_maintenance(self, capsys, tmp_path):
+        """Cold sweep -> warm sweep (all hits) -> corrupt -> verify/gc."""
+        cache_dir = str(tmp_path / "store")
+        argv = [
+            "sweep",
+            "--gpus", "G17",
+            "--pims", "P2",
+            "--policies", "FR-FCFS",
+            "--vcs", "1",
+            "--scale", "0.05",
+            "--channels", "4",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits, 1 simulated" in out
+
+        # Warm re-run: every cell is a hit, so --fail-on-miss passes...
+        assert main(argv + ["--fail-on-miss"]) == 0
+        warm = capsys.readouterr().out
+        assert "1 cache hits, 0 simulated" in warm
+        # ...and the table is byte-identical to the cold run's.
+        assert warm.split("cells:")[0] == out.split("cells:")[0]
+
+        # --fresh recomputes, so --fail-on-miss now fails.
+        assert main(argv + ["--fresh", "--fail-on-miss"]) == 1
+        capsys.readouterr()
+
+        assert main(["store", "ls", "--cache-dir", cache_dir]) == 0
+        assert "competitive" in capsys.readouterr().out
+
+        assert main(["store", "verify", "--cache-dir", cache_dir]) == 0
+        assert "corrupt: 0" in capsys.readouterr().out
+
+        # Truncate one object: verify exits 1, gc reaps it, verify passes.
+        victim = next((tmp_path / "store" / "objects").glob("*/*.json"))
+        victim.write_text(victim.read_text()[:20])
+        assert main(["store", "verify", "--cache-dir", cache_dir]) == 1
+        assert "corrupt: 1" in capsys.readouterr().out
+        assert main(["store", "gc", "--cache-dir", cache_dir]) == 0
+        assert "1 corrupt" in capsys.readouterr().out
+        assert main(["store", "verify", "--cache-dir", cache_dir]) == 0
+
+    def test_sweep_shard_and_merge(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        argv = [
+            "sweep",
+            "--gpus", "G17",
+            "--pims", "P2",
+            "--policies", "FR-FCFS", "F3FS",
+            "--vcs", "1",
+            "--scale", "0.05",
+            "--channels", "4",
+            "--cache-dir", cache_dir,
+        ]
+        for shard in ("0/2", "1/2"):
+            assert main(argv + ["--shard", shard]) == 0
+            assert f"shard {shard}" in capsys.readouterr().out
+        assert main(argv + ["--merge-only"]) == 0
+        out = capsys.readouterr().out
+        assert "F3FS" in out and "FR-FCFS" in out
+        assert "cells: 2" in out
+
+    def test_sweep_rejects_bad_shard(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--shard", "3/3", "--cache-dir", "/tmp/x"])
+
+    def test_merge_only_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--merge-only"])
+
     def test_figure_fig11_subset(self, capsys):
         code = main(
             [
