@@ -23,6 +23,12 @@ the committed baseline in ``benchmarks/results/BENCH_engine.json``:
   built), so a bench run — which never attaches a store — must not get
   any slower.  A regression here means store code leaked into the cycle
   engine's request path.
+* ``--check resilience`` holds the same run within
+  ``RESILIENCE_THRESHOLD`` (2%) of the baseline, guarding the dormant
+  watchdog hook (``if watchdog is not None`` once per engine step) and
+  the fault-injection hooks (a single ``None`` check per cell, outside
+  the engine entirely).  A regression here means resilience code leaked
+  into the per-cycle path.
 * ``--check all`` runs every gate on a single set of measurements.
 
 Usage::
@@ -45,6 +51,7 @@ SCENARIO = "saturated_corun"
 SCHEDULER_THRESHOLD = 0.70  # fail below 70% of the committed baseline
 TELEMETRY_THRESHOLD = 0.98  # dormant telemetry hooks must stay within 2%
 STORE_THRESHOLD = 0.98  # dormant result-store hooks must stay within 2%
+RESILIENCE_THRESHOLD = 0.98  # dormant watchdog/fault hooks must stay within 2%
 BASELINE_PATH = Path(__file__).parent / "results" / "BENCH_engine.json"
 REPEATS = 3  # best-of-N: the guard asks "can it still go fast", not "mean"
 
@@ -63,7 +70,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check",
-        choices=["scheduler", "telemetry", "store", "all"],
+        choices=["scheduler", "telemetry", "store", "resilience", "all"],
         default="scheduler",
         help="which throughput floor(s) to enforce",
     )
@@ -82,6 +89,7 @@ def main(argv=None) -> int:
         "scheduler": SCHEDULER_THRESHOLD,
         "telemetry": TELEMETRY_THRESHOLD,
         "store": STORE_THRESHOLD,
+        "resilience": RESILIENCE_THRESHOLD,
     }
     selected = list(thresholds) if args.check == "all" else [args.check]
     failed = False

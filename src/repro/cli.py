@@ -291,10 +291,22 @@ def _parse_shard(text: Optional[str]):
     return index, count
 
 
+def _announce_failures(report) -> None:
+    """Print one FAILED line per quarantined cell (stderr)."""
+    for failure in report.failed_outcomes:
+        plural = "attempt" if failure.attempts == 1 else "attempts"
+        print(
+            f"FAILED {failure.label}: {failure.kind} after "
+            f"{failure.attempts} {plural} — {failure.message}",
+            file=sys.stderr,
+        )
+
+
 def cmd_sweep(args) -> int:
     """Resumable, shardable benchmark-grid sweep through the result store."""
     from repro.experiments import (
         ExperimentScale,
+        RetryPolicy,
         collect_from_store,
         default_grid_tasks,
         run_sweep,
@@ -314,7 +326,17 @@ def cmd_sweep(args) -> int:
         vc_configs=tuple(args.vcs),
     )
     shard = _parse_shard(args.shard)
+    try:
+        retry = RetryPolicy(retries=args.retries, backoff_base=args.backoff)
+    except ValueError as exc:
+        raise SystemExit(f"invalid retry settings: {exc}")
+    faults = None
+    if args.faults is not None:
+        from repro.resilience import FaultPlan
 
+        faults = FaultPlan.from_file(args.faults)
+
+    failures = []
     if args.merge_only:
         if args.cache_dir is None:
             raise SystemExit("--merge-only requires --cache-dir")
@@ -328,31 +350,51 @@ def cmd_sweep(args) -> int:
             max_workers=args.workers,
             shard=shard,
             fresh=not args.resume,
+            cell_timeout=args.cell_timeout,
+            retry=retry,
+            faults=faults,
+            watchdog=args.watchdog,
         )
         hits, misses = report.hits, report.misses
+        failures = report.failed_outcomes
+        _announce_failures(report)
         if shard is not None:
             ran = report.completed
             print(
                 f"shard {args.shard}: {ran}/{len(tasks)} cells "
-                f"({hits} cache hits, {misses} simulated)"
+                f"({hits} cache hits, {misses} simulated"
+                + (f", {len(failures)} failed" if failures else "")
+                + ")"
             )
             if args.cache_dir:
                 print(
                     "merge with: repro sweep --merge-only --cache-dir "
                     f"{args.cache_dir} (same grid/scale args)"
                 )
+            if failures and args.strict:
+                return 2
             return 1 if (args.fail_on_miss and misses) else 0
         outcomes = report.completed_outcomes()
 
     rows = sweep_rows(outcomes)
-    table = format_table(rows, list(rows[0]))
-    if args.out == "-":
-        print(table)
+    if rows:
+        table = format_table(rows, list(rows[0]))
+        if args.out == "-":
+            print(table)
+        else:
+            with open(args.out, "w") as fh:
+                fh.write(table + "\n")
+            print(f"table written to {args.out}")
     else:
-        with open(args.out, "w") as fh:
-            fh.write(table + "\n")
-        print(f"table written to {args.out}")
-    print(f"cells: {len(rows)} ({hits} cache hits, {misses} simulated)")
+        print("no cells completed", file=sys.stderr)
+    print(
+        f"cells: {len(rows)} ({hits} cache hits, {misses} simulated"
+        + (f", {len(failures)} failed" if failures else "")
+        + ")"
+    )
+    if failures and args.strict:
+        print(f"FAIL: {len(failures)} cell(s) quarantined (--strict)", file=sys.stderr)
+        return 2
     if args.fail_on_miss and misses:
         print(f"FAIL: expected a fully warm cache but {misses} cells simulated")
         return 1
@@ -556,6 +598,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 if any cell had to be simulated (determinism canary)",
     )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any cell exceeding this wall-clock budget",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-attempts before a failing cell is quarantined (default: 2)",
+    )
+    sweep.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base retry backoff, doubled per attempt (0 disables; default: 0.25)",
+    )
+    sweep.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 if any cell was quarantined (default: degrade gracefully)",
+    )
+    sweep.add_argument(
+        "--watchdog",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="arm the in-engine stall watchdog with this no-progress window",
+    )
+    sweep.add_argument(
+        "--faults",
+        default=None,
+        metavar="FILE",
+        help="JSON fault-injection plan (testing; see docs/resilience.md)",
+    )
     sweep.add_argument("--out", default="-", help="table output file ('-' = stdout)")
     _add_scale_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
@@ -581,29 +661,36 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not args.profile:
-        try:
-            return args.func(args)
-        except BrokenPipeError:
-            # Downstream pipe closed early (e.g. `repro store ls | head`):
-            # stop quietly instead of tracebacking.  Detach stdout so the
-            # interpreter's exit-time flush doesn't raise again.
-            devnull = os.open(os.devnull, os.O_WRONLY)
-            os.dup2(devnull, sys.stdout.fileno())
-            return 0
+    try:
+        if not args.profile:
+            try:
+                return args.func(args)
+            except BrokenPipeError:
+                # Downstream pipe closed early (e.g. `repro store ls | head`):
+                # stop quietly instead of tracebacking.  Detach stdout so the
+                # interpreter's exit-time flush doesn't raise again.
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                os.dup2(devnull, sys.stdout.fileno())
+                return 0
 
-    import cProfile
-    import pstats
+        import cProfile
+        import pstats
 
-    profiler = cProfile.Profile()
-    status = profiler.runcall(args.func, args)
-    profiler.create_stats()
-    if args.profile_out is None:
-        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
-    else:
-        profiler.dump_stats(args.profile_out)
-        print(f"profile written to {args.profile_out}", file=sys.stderr)
-    return status
+        profiler = cProfile.Profile()
+        status = profiler.runcall(args.func, args)
+        profiler.create_stats()
+        if args.profile_out is None:
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        else:
+            profiler.dump_stats(args.profile_out)
+            print(f"profile written to {args.profile_out}", file=sys.stderr)
+        return status
+    except KeyboardInterrupt:
+        # Completed cells are already persisted (atomic store puts, whole
+        # journal lines), so Ctrl-C loses at most in-flight work; re-run
+        # with --resume to pick up where this invocation stopped.
+        print("interrupted — completed cells are persisted; re-run to resume", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

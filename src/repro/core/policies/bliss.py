@@ -28,8 +28,10 @@ class BLISS(SchedulingPolicy):
         threshold: int = DEFAULT_THRESHOLD,
         clear_interval: int = DEFAULT_CLEAR_INTERVAL,
     ) -> None:
-        if threshold < 1 or clear_interval < 1:
-            raise ValueError("threshold and clear_interval must be positive")
+        if threshold < 1:
+            raise ValueError(f"BLISS threshold must be >= 1 (got {threshold!r})")
+        if clear_interval < 1:
+            raise ValueError(f"BLISS clear_interval must be >= 1 (got {clear_interval!r})")
         self.threshold = threshold
         self.clear_interval = clear_interval
         self.blacklist: Set[int] = set()

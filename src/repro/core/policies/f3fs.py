@@ -44,8 +44,10 @@ class F3FS(SchedulingPolicy):
         pim_cap: int = DEFAULT_CAP,
         current_mode_first: bool = True,
     ) -> None:
-        if mem_cap < 1 or pim_cap < 1:
-            raise ValueError("caps must be positive")
+        if mem_cap < 1:
+            raise ValueError(f"F3FS mem_cap must be >= 1 (got {mem_cap!r})")
+        if pim_cap < 1:
+            raise ValueError(f"F3FS pim_cap must be >= 1 (got {pim_cap!r})")
         self.caps = {Mode.MEM: mem_cap, Mode.PIM: pim_cap}
         self.current_mode_first = current_mode_first
         self._bypasses = 0

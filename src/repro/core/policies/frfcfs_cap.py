@@ -21,7 +21,7 @@ class FRFCFSCap(SchedulingPolicy):
 
     def __init__(self, cap: int = DEFAULT_CAP) -> None:
         if cap < 1:
-            raise ValueError("cap must be positive")
+            raise ValueError(f"FR-FCFS-Cap cap must be >= 1 (got {cap!r})")
         self.cap = cap
         self._bypasses = 0
         self._oldest_seq = -1

@@ -29,7 +29,7 @@ class SMS(SchedulingPolicy):
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         if batch_size < 1:
-            raise ValueError("batch_size must be positive")
+            raise ValueError(f"SMS batch_size must be >= 1 (got {batch_size!r})")
         self.batch_size = batch_size
         self._served_in_batch = 0
 

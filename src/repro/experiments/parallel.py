@@ -17,16 +17,33 @@ the remainder; ``shard=(i, n)`` splits a grid across machines that share
 (or later merge) a store; :func:`collect_from_store` reassembles the
 full table without running anything.  Pass ``cache_path`` to
 additionally share the legacy duration cache across workers.
+
+Execution is fault tolerant (see ``docs/resilience.md``): worker pools
+run under a :class:`repro.resilience.Supervisor` that survives worker
+death (``BrokenProcessPool`` → respawn), enforces per-cell wall-clock
+timeouts, retries failed cells with capped exponential backoff, and
+after repeated failure quarantines a cell to
+``GridReport.failed_outcomes`` (journaled in the store) so one poisoned
+config cannot abort a thousand-cell campaign — the sweep completes every
+healthy cell and degrades gracefully.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+import time
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import PolicySpec
 from repro.experiments.runner import CompetitiveOutcome, ExperimentScale, Runner
+from repro.resilience import faults as fault_injection
+from repro.resilience.supervisor import (
+    FATAL_KINDS,
+    CellFailure,
+    RetryPolicy,
+    Supervisor,
+    classify_failure,
+)
 
 
 @dataclass(frozen=True)
@@ -101,8 +118,13 @@ def shard_indices(total: int, shard: Optional[Tuple[int, int]]) -> List[int]:
     if shard is None:
         return list(range(total))
     index, count = shard
-    if count < 1 or not 0 <= index < count:
-        raise ValueError(f"invalid shard {index}/{count}")
+    for name, value in (("index", index), ("count", count)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"shard {name} must be an integer (got {value!r})")
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1 (got {count})")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must satisfy 0 <= index < {count} (got {index})")
     return [j for j in range(total) if j % count == index]
 
 
@@ -119,9 +141,12 @@ class GridReport:
     """Outcome of one (possibly sharded/resumed) grid invocation.
 
     ``outcomes`` is aligned with ``tasks``; entries not run by this
-    invocation (other shards) are ``None``.  ``hits`` counts cells (and
-    memoized repeats) satisfied without simulating; ``misses`` counts
-    cells that ran.
+    invocation (other shards, quarantined cells) are ``None``.  ``hits``
+    counts cells (and memoized repeats) satisfied without simulating;
+    ``misses`` counts cells that ran.  ``failed_outcomes`` lists cells
+    quarantined by the supervisor after exhausting their retries (or
+    immediately, for deterministic config/stall failures);
+    ``retry_events`` is the supervisor's retry/suspect history.
     """
 
     tasks: List[GridTask]
@@ -130,10 +155,16 @@ class GridReport:
     misses: int = 0
     counters: Optional[object] = None  # EngineCounters when collect_perf
     shard: Optional[Tuple[int, int]] = None
+    failed_outcomes: List[CellFailure] = field(default_factory=list)
+    retry_events: List[Dict] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome is not None)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failed_outcomes)
 
     def completed_outcomes(self) -> List[CompetitiveOutcome]:
         return [outcome for outcome in self.outcomes if outcome is not None]
@@ -151,6 +182,8 @@ def _init_worker(
     perf_counters: bool = False,
     store_dir: Optional[str] = None,
     fresh: bool = False,
+    fault_payload: Optional[Dict] = None,
+    watchdog: Optional[int] = None,
 ) -> None:
     """Process-pool initializer: build this worker's Runner once."""
     global _WORKER_RUNNER
@@ -159,12 +192,47 @@ def _init_worker(
         from repro.store import ResultStore
 
         store = ResultStore(store_dir, read_enabled=not fresh)
+    if fault_payload is not None:
+        fault_injection.install(fault_injection.FaultPlan.from_payload(fault_payload))
+    else:
+        fault_injection.install(fault_injection.load_env())
     _WORKER_RUNNER = Runner(
         ExperimentScale(**scale_fields),
         cache_path=cache_path,
         perf_counters=perf_counters,
         store=store,
+        watchdog_window=watchdog,
     )
+
+
+def _apply_pre_fault(task: GridTask) -> None:
+    """Trigger any injected fault scheduled for this cell (test-only).
+
+    ``crash`` kills the worker process outright (exercising the
+    supervisor's BrokenProcessPool path), ``hang`` sleeps past the cell
+    timeout, ``error`` raises a retryable exception.  ``corrupt`` is
+    applied *after* the run (see :func:`_apply_post_fault`).
+    """
+    plan = fault_injection.active()
+    if plan is None:
+        return
+    kind = plan.claim(task.label, phase="pre")
+    if kind == "crash":
+        fault_injection.crash_worker()
+    elif kind == "hang":
+        time.sleep(plan.hang_seconds)
+    elif kind == "error":
+        raise fault_injection.FaultInjected(f"injected transient error at {task.label}")
+
+
+def _apply_post_fault(task: GridTask) -> None:
+    """Corrupt this cell's just-written store object, if so scheduled."""
+    plan = fault_injection.active()
+    if plan is None or _WORKER_RUNNER.store is None:
+        return
+    if plan.claim(task.label, phase="post") == "corrupt":
+        key = task_store_key(_WORKER_RUNNER.scale, task)
+        fault_injection.corrupt_store_object(_WORKER_RUNNER.store, key)
 
 
 def _run_task(task: GridTask) -> Dict:
@@ -175,12 +243,14 @@ def _run_task(task: GridTask) -> Dict:
     counts (the shared counter is reset before the run), and ``how`` is
     the runner's ``store_last`` ("hit"/"miss"/"memo"/None).
     """
+    _apply_pre_fault(task)
     perf = _WORKER_RUNNER.perf
     if perf is not None:
         perf.reset()
     outcome = _WORKER_RUNNER.competitive(
         task.gpu_id, task.pim_id, task.policy, num_vcs=task.num_vcs
     )
+    _apply_post_fault(task)
     return {
         "outcome": asdict(outcome),
         "perf": perf.snapshot() if perf is not None else None,
@@ -196,6 +266,8 @@ def run_grid_parallel(
     collect_perf: bool = False,
     store_dir: Optional[str] = None,
     fresh: bool = False,
+    cell_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ):
     """Run tasks across processes; results come back in task order.
 
@@ -205,6 +277,10 @@ def run_grid_parallel(
     set, cells are written through (and satisfied from) the
     content-addressed result store — see :func:`run_grid_resumable` for
     the sharded/abortable variant that also reports hit/miss counts.
+
+    This legacy entry point promises a complete, ordered outcome list,
+    so — unlike :func:`run_grid_resumable`, which degrades gracefully —
+    it raises ``RuntimeError`` if any cell was quarantined.
     """
     report = run_grid_resumable(
         scale,
@@ -214,7 +290,17 @@ def run_grid_parallel(
         collect_perf=collect_perf,
         store_dir=store_dir,
         fresh=fresh,
+        cell_timeout=cell_timeout,
+        retry=retry,
     )
+    if report.failed_outcomes:
+        summary = ", ".join(
+            f"{f.label} ({f.kind})" for f in report.failed_outcomes[:5]
+        )
+        raise RuntimeError(
+            f"{len(report.failed_outcomes)} grid cell(s) failed after retries: {summary}"
+            + ("..." if len(report.failed_outcomes) > 5 else "")
+        )
     outcomes = report.outcomes
     if not collect_perf:
         return outcomes
@@ -231,6 +317,10 @@ def run_grid_resumable(
     fresh: bool = False,
     shard: Optional[Tuple[int, int]] = None,
     abort_after: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[fault_injection.FaultPlan] = None,
+    watchdog: Optional[int] = None,
 ) -> GridReport:
     """The resumable/sharded grid engine behind :func:`run_grid_parallel`.
 
@@ -240,15 +330,39 @@ def run_grid_resumable(
     never loses finished work.  ``shard=(i, n)`` runs only every n-th
     task starting at i; merged results for the full grid come from
     :func:`collect_from_store`.
+
+    Failure handling (see ``docs/resilience.md``): worker crashes,
+    per-cell wall-clock timeouts (``cell_timeout`` seconds) and
+    worker-raised exceptions are retried per ``retry``
+    (:class:`RetryPolicy`); cells that keep failing — or fail
+    deterministically (config ``ValueError``, ``SimulationStalled``) —
+    are quarantined into ``GridReport.failed_outcomes`` (journaled in
+    the store when ``store_dir`` is set) and the sweep completes every
+    healthy cell.  ``watchdog`` arms the in-engine stall detector with
+    the given cycle window; ``faults`` installs a test-only
+    :class:`~repro.resilience.faults.FaultPlan` in every worker (also
+    loadable via the ``REPRO_FAULTS`` environment variable).
     """
     if max_workers < 1:
         raise ValueError("max_workers must be positive")
+    retry = retry or RetryPolicy()
+    if faults is None:
+        faults = fault_injection.load_env()
     tasks = list(tasks)
     selected = shard_indices(len(tasks), shard)
     subset = [tasks[j] for j in selected]
     global _WORKER_RUNNER
     scale_fields = asdict(scale)
-    init_args = (scale_fields, cache_path, collect_perf, store_dir, fresh)
+    fault_payload = faults.to_payload() if faults is not None else None
+    init_args = (
+        scale_fields,
+        cache_path,
+        collect_perf,
+        store_dir,
+        fresh,
+        fault_payload,
+        watchdog,
+    )
 
     report = GridReport(
         tasks=tasks, outcomes=[None] * len(tasks), shard=shard
@@ -257,6 +371,21 @@ def run_grid_resumable(
         from repro.perf.counters import EngineCounters
 
         report.counters = EngineCounters()
+
+    journal_store = None
+    if store_dir is not None:
+        from repro.store import ResultStore
+
+        journal_store = ResultStore(store_dir)
+
+    def quarantine(failure: CellFailure) -> None:
+        # Rebase the subset-relative index onto the full task list and
+        # record the poisoned cell next to the puts of the cells that
+        # did complete.
+        failure.index = selected[failure.index]
+        report.failed_outcomes.append(failure)
+        if journal_store is not None:
+            journal_store.log_event("quarantine", **failure.to_dict())
 
     def fold(position: int, record: Dict) -> None:
         report.outcomes[selected[position]] = CompetitiveOutcome(**record["outcome"])
@@ -268,33 +397,78 @@ def run_grid_resumable(
             report.counters.merge_snapshot(record["perf"])
 
     completed = 0
-    if max_workers == 1:
+    # Crash/hang faults must never run in the coordinating process, so
+    # any installed fault plan forces the supervised pool path even at
+    # max_workers=1 (so does a cell timeout, which needs a killable
+    # worker to enforce).
+    use_pool = max_workers > 1 or cell_timeout is not None or faults is not None
+    if not use_pool:
         _init_worker(*init_args)
         try:
             for position, task in enumerate(subset):
-                fold(position, _run_task(task))
-                completed += 1
-                if abort_after is not None and completed >= abort_after:
-                    raise SweepAborted(completed)
-        finally:
-            _WORKER_RUNNER = None
-    else:
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=init_args,
-        ) as pool:
-            try:
-                for position, record in enumerate(pool.map(_run_task, subset)):
+                attempts = 0
+                while True:
+                    try:
+                        record = _run_task(task)
+                    except SweepAborted:
+                        raise
+                    except Exception as exc:
+                        kind = classify_failure(exc)
+                        attempts += 1
+                        if kind in FATAL_KINDS or attempts > retry.retries:
+                            quarantine(
+                                CellFailure(
+                                    index=position,
+                                    label=task.label,
+                                    kind=kind,
+                                    message=str(exc),
+                                    attempts=attempts,
+                                    diagnostic=getattr(exc, "diagnostic", None),
+                                )
+                            )
+                            break
+                        delay = retry.delay(task.label, attempts)
+                        report.retry_events.append(
+                            {
+                                "kind": "retry",
+                                "label": task.label,
+                                "attempt": attempts,
+                                "failure": kind,
+                                "delay": round(delay, 4),
+                                "message": str(exc),
+                            }
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
                     fold(position, record)
                     completed += 1
                     if abort_after is not None and completed >= abort_after:
                         raise SweepAborted(completed)
-            except SweepAborted:
-                # Simulated kill: drop queued cells (finished ones are
-                # already persisted in the store) and surface the abort.
-                pool.shutdown(wait=True, cancel_futures=True)
-                raise
+                    break
+        finally:
+            _WORKER_RUNNER = None
+    else:
+        supervisor = Supervisor(
+            _run_task,
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=init_args,
+            cell_timeout=cell_timeout,
+            retry=retry,
+            labeler=lambda task: task.label,
+        )
+        supervisor.on_quarantine = quarantine
+
+        def on_result(position: int, record: Dict) -> None:
+            nonlocal completed
+            fold(position, record)
+            completed += 1
+            if abort_after is not None and completed >= abort_after:
+                raise SweepAborted(completed)
+
+        supervisor.run(subset, on_result)
+        report.retry_events.extend(supervisor.events)
     return report
 
 

@@ -62,6 +62,34 @@ class ExperimentScale:
     #: Model DRAM refresh (fidelity extension; off in the paper sweeps).
     refresh_enabled: bool = False
 
+    def __post_init__(self) -> None:
+        # Fail fast with the offending field named: a bad cell should be
+        # quarantined by the sweep supervisor on first sight (ValueError
+        # is non-retryable), not retried or half-simulated.
+        for name in (
+            "num_channels",
+            "gpu_sms_full",
+            "gpu_sms_corun",
+            "pim_sms",
+            "noc_queue_size",
+            "max_cycles",
+            "starvation_factor",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"ExperimentScale.{name} must be a positive integer (got {value!r})"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ValueError(
+                f"ExperimentScale.seed must be a non-negative integer (got {self.seed!r})"
+            )
+        scale = self.workload_scale
+        if isinstance(scale, bool) or not isinstance(scale, (int, float)) or not scale > 0:
+            raise ValueError(
+                f"ExperimentScale.workload_scale must be > 0 (got {scale!r})"
+            )
+
     def config(self, num_vcs: int = 1, noc_queue_size: Optional[int] = None) -> SystemConfig:
         base = SystemConfig.scaled(
             num_channels=self.num_channels,
@@ -120,8 +148,16 @@ class Runner:
         cache_path: Optional[str] = None,
         perf_counters: bool = False,
         store=None,
+        watchdog_window: Optional[int] = None,
     ):
         self.scale = scale
+        #: With a window set, every system this runner builds gets a
+        #: no-progress watchdog: a livelocked cell raises a structured
+        #: SimulationStalled (quarantined by the sweep supervisor) instead
+        #: of burning its whole cycle budget.  Observe-only — results are
+        #: bit-identical with or without it, so it stays out of the
+        #: result-store fingerprint.
+        self.watchdog_window = watchdog_window
         #: Shared EngineCounters across every system this runner builds
         #: (engine wall-clock per stage, aggregated over all runs).
         self.perf = None
@@ -160,6 +196,8 @@ class Runner:
         )
         if self.perf is not None:
             system.perf = self.perf
+        if self.watchdog_window is not None:
+            system.enable_watchdog(self.watchdog_window)
         return system
 
     def _standalone_key(self, label: str, sms: int, num_vcs: int) -> str:

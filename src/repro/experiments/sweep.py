@@ -63,13 +63,21 @@ def run_sweep(
     fresh: bool = False,
     collect_perf: bool = False,
     abort_after: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    retry=None,
+    faults=None,
+    watchdog: Optional[int] = None,
 ) -> GridReport:
     """Run a (resumable, shardable) sweep over ``tasks``.
 
     Every completed cell is written through the content-addressed store
     as it finishes, so an interrupted invocation resumes where it left
     off and shards merge via
-    :func:`repro.experiments.parallel.collect_from_store`.
+    :func:`repro.experiments.parallel.collect_from_store`.  Failures are
+    retried and, if persistent, quarantined per ``retry`` /
+    ``cell_timeout`` (see :func:`~repro.experiments.parallel.run_grid_resumable`
+    and ``docs/resilience.md``); the report's ``failed_outcomes`` lists
+    what was given up on.
     """
     return run_grid_resumable(
         scale,
@@ -80,6 +88,10 @@ def run_sweep(
         fresh=fresh,
         collect_perf=collect_perf,
         abort_after=abort_after,
+        cell_timeout=cell_timeout,
+        retry=retry,
+        faults=faults,
+        watchdog=watchdog,
     )
 
 

@@ -24,9 +24,11 @@ class VCBuffer:
 
     def __init__(self, total_capacity: int, num_vcs: int, name: str = "") -> None:
         if num_vcs not in (1, 2):
-            raise ValueError("num_vcs must be 1 or 2")
+            raise ValueError(f"num_vcs must be 1 or 2 (got {num_vcs!r})")
         if total_capacity < num_vcs:
-            raise ValueError("capacity too small for the VC split")
+            raise ValueError(
+                f"total_capacity must be >= num_vcs={num_vcs} (got {total_capacity!r})"
+            )
         self.num_vcs = num_vcs
         self.name = name
         if num_vcs == 1:

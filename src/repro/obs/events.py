@@ -27,6 +27,13 @@ FAST_FORWARD = "fast_forward"
 KERNEL_LAUNCH = "kernel_launch"
 KERNEL_DRAIN = "kernel_drain"
 NOC_REJECT = "noc_reject"
+#: Emitted by the simulation watchdog when it detects a no-progress
+#: window (just before raising SimulationStalled); see repro.resilience.
+WATCHDOG = "watchdog"
+#: Emitted by the sweep supervisor for every cell re-attempt; recorded in
+#: GridReport.retry_events rather than the in-engine ring (the supervisor
+#: lives outside the simulated system).
+RETRY = "retry"
 
 
 @dataclass(slots=True)

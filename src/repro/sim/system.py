@@ -238,6 +238,9 @@ class GPUSystem:
         # -- observability (repro.perf / repro.obs) ------------------------
         self.perf = None  # optional repro.perf.counters.EngineCounters
         self.telemetry = None  # optional repro.obs.telemetry.Telemetry
+        # Optional repro.resilience.watchdog.Watchdog (no-progress guard);
+        # dormant cost is one None check + one int compare per step.
+        self.watchdog = None
         self.steps_executed = 0
         self.cycles_skipped = 0
         self._stages = (
@@ -569,6 +572,9 @@ class GPUSystem:
                 start = clock()
                 stage()
                 add(name, clock() - start)
+        watchdog = self.watchdog
+        if watchdog is not None and cycle >= watchdog.next_check:
+            watchdog.scan(self)
         self.steps_executed += 1
         self.cycle = cycle + 1
 
@@ -615,6 +621,25 @@ class GPUSystem:
                 self.telemetry.emit(
                     cycle, obs_events.FAST_FORWARD, start=cycle, skipped=target - cycle
                 )
+
+    def enable_watchdog(self, window: Optional[int] = None) -> "Watchdog":
+        """Attach the no-forward-progress guard (see :mod:`repro.resilience`).
+
+        Every ``window`` cycles the watchdog compares a signature of the
+        engine's monotonic progress counters; if nothing moved while work
+        is outstanding it raises
+        :class:`~repro.resilience.watchdog.SimulationStalled` with a
+        diagnostic dump instead of spinning to the cycle budget.  The
+        watchdog observes but never schedules, so enabled runs are
+        bit-identical to disabled ones.  Idempotent per system.
+        """
+        if self.watchdog is not None:
+            return self.watchdog
+        from repro.resilience.watchdog import DEFAULT_WINDOW, Watchdog
+
+        self.watchdog = Watchdog(DEFAULT_WINDOW if window is None else window)
+        self.watchdog.next_check = self.cycle + self.watchdog.window
+        return self.watchdog
 
     def enable_perf_counters(self) -> "EngineCounters":
         """Attach per-stage wall-clock counters (see :mod:`repro.perf`)."""

@@ -101,6 +101,10 @@ class ResultStore:
     def _path(self, key: str) -> Path:
         return self.objects / key[:2] / f"{key}.json"
 
+    def object_path(self, key: str) -> Path:
+        """On-disk location of ``key``'s document (exists only if put)."""
+        return self._path(key)
+
     def _count(self, kind: Optional[str], event: str) -> None:
         self.stats.record(kind, event)
         if self.counters is not None:
@@ -172,8 +176,23 @@ class ResultStore:
 
     def _journal(self, record: Dict) -> None:
         line = json.dumps({**record, "ts": time.time()}, sort_keys=True)
-        with open(self.journal_path, "a") as fh:
-            fh.write(line + "\n")
+        # One O_APPEND write of the whole line: a Ctrl-C or crash between
+        # syscalls cannot leave a torn half-line for the next reader
+        # (journal_entries tolerates one anyway, but only at the tail).
+        fd = os.open(self.journal_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (line + "\n").encode())
+        finally:
+            os.close(fd)
+
+    def log_event(self, event: str, **fields) -> None:
+        """Append a structured event line to the journal (public API).
+
+        Used by the sweep supervisor to record quarantined cells next to
+        the ``put`` lines of the cells that did complete, so a store
+        directory is a self-contained account of what happened to a grid.
+        """
+        self._journal({"event": event, **fields})
 
     def journal_entries(self) -> List[Dict]:
         if not self.journal_path.exists():

@@ -172,13 +172,85 @@ class TestCommands:
         assert "F3FS" in out and "FR-FCFS" in out
         assert "cells: 2" in out
 
-    def test_sweep_rejects_bad_shard(self):
+    def test_sweep_shard_fail_on_miss_after_resume(self, capsys, tmp_path):
+        """--fail-on-miss semantics hold per shard: warm passes, cold fails."""
+        argv = [
+            "sweep",
+            "--gpus", "G17",
+            "--pims", "P2",
+            "--policies", "FR-FCFS", "F3FS",
+            "--vcs", "1",
+            "--scale", "0.05",
+            "--channels", "4",
+            "--cache-dir", str(tmp_path / "store"),
+        ]
+        assert main(argv + ["--shard", "0/2"]) == 0  # cold shard simulates
+        assert main(argv + ["--shard", "0/2", "--fail-on-miss"]) == 0  # resumed: warm
+        assert main(argv + ["--shard", "1/2", "--fail-on-miss"]) == 1  # cold: misses
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("shard", ["3/3", "0/0", "-1/2", "x/2", "1"])
+    def test_sweep_rejects_bad_shard(self, shard):
         with pytest.raises(SystemExit):
-            main(["sweep", "--shard", "3/3", "--cache-dir", "/tmp/x"])
+            main(["sweep", "--shard", shard, "--cache-dir", "/tmp/x"])
 
     def test_merge_only_requires_cache_dir(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--merge-only"])
+
+    def test_sweep_rejects_bad_retry_settings(self):
+        with pytest.raises(SystemExit, match="retry"):
+            main(["sweep", "--retries", "-1"])
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.experiments
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.experiments, "run_sweep", interrupted)
+        code = main(["sweep", "--gpus", "G17", "--pims", "P2",
+                     "--policies", "FR-FCFS", "--vcs", "1",
+                     "--scale", "0.05", "--channels", "4"])
+        assert code == 130
+        assert "resume" in capsys.readouterr().err
+
+    def test_sweep_strict_exit_codes_under_faults(self, capsys, tmp_path):
+        """A quarantined cell exits 0 by default, 2 with --strict."""
+        import json
+
+        plan = {
+            "state_dir": str(tmp_path / "fault-state"),
+            "cells": {"G17|P2|FR-FCFS|vc1": {"kind": "error", "times": -1}},
+        }
+        plan_path = tmp_path / "faults.json"
+        plan_path.write_text(json.dumps(plan))
+        argv = [
+            "sweep",
+            "--gpus", "G17",
+            "--pims", "P2",
+            "--policies", "FR-FCFS", "F3FS",
+            "--vcs", "1",
+            "--scale", "0.05",
+            "--channels", "4",
+            "--cache-dir", str(tmp_path / "store"),
+            "--retries", "0",
+            "--backoff", "0",
+            "--faults", str(plan_path),
+        ]
+        assert main(argv) == 0  # graceful degradation is the default
+        captured = capsys.readouterr()
+        assert "FAILED G17|P2|FR-FCFS|vc1: error" in captured.err
+        assert "1 failed" in captured.out
+        assert "F3FS" in captured.out  # healthy cell's row still printed
+
+        assert main(argv + ["--strict"]) == 2
+        captured = capsys.readouterr()
+        assert "--strict" in captured.err
+
+        # Fault-free strict rerun recovers the poisoned cell: exit 0.
+        assert main(argv[:-2] + ["--strict"]) == 0
+        assert "2 cache hits" not in capsys.readouterr().out  # one recomputed
 
     def test_figure_fig11_subset(self, capsys):
         code = main(

@@ -101,6 +101,33 @@ class TestCrashResume:
         with pytest.raises(KeyError):  # partial grids must not merge silently
             collect_from_store(TINY, tasks, store_dir)
 
+    @pytest.mark.parametrize("fast_forward", ["0", "1"])
+    def test_abort_within_shard_then_resume_and_merge(
+        self, tmp_path, monkeypatch, fast_forward
+    ):
+        """SweepAborted mid-shard: the shard resumes on its own cells
+        only, and the cross-shard merge is still byte-identical."""
+        monkeypatch.setenv("REPRO_FAST_FORWARD", fast_forward)
+        tasks = tiny_tasks()
+        reference = run_sweep(TINY, tasks, store_dir=str(tmp_path / "ref"))
+
+        shared = str(tmp_path / "shared")
+        with pytest.raises(SweepAborted) as excinfo:
+            run_sweep(TINY, tasks, store_dir=shared, shard=(0, 2), abort_after=1)
+        assert excinfo.value.completed == 1
+
+        resumed = run_sweep(TINY, tasks, store_dir=shared, shard=(0, 2))
+        assert resumed.hits == 1
+        assert resumed.misses == len(shard_indices(len(tasks), (0, 2))) - 1
+        # The aborted shard never touched the other shard's cells.
+        with pytest.raises(KeyError):
+            collect_from_store(TINY, tasks, shared)
+
+        other = run_sweep(TINY, tasks, store_dir=shared, shard=(1, 2))
+        assert other.misses == len(shard_indices(len(tasks), (1, 2)))
+        merged = collect_from_store(TINY, tasks, shared)
+        assert table_bytes(merged) == table_bytes(reference.completed_outcomes())
+
 
 class TestShardMerge:
     def test_three_way_shard_merges_byte_identical(self, tmp_path):
