@@ -29,6 +29,13 @@ the committed baseline in ``benchmarks/results/BENCH_engine.json``:
   the fault-injection hooks (a single ``None`` check per cell, outside
   the engine entirely).  A regression here means resilience code leaked
   into the per-cycle path.
+* ``--check soa`` runs the same scenario under the struct-of-arrays
+  engine backend (``REPRO_ENGINE=soa`` equivalent) and fails below
+  ``SOA_THRESHOLD`` (90%) of the recorded SoA baseline
+  (``scenarios[...]["soa"]["cycles_per_sec"]`` in BENCH_engine.json,
+  written by ``repro bench --compare-soa``).  This is the guard the
+  ISSUE's vectorized core ships with: a change that quietly drops a
+  fused path back to the object implementation shows up as a 40%+ hit.
 * ``--check all`` runs every gate on a single set of measurements.
 
 Usage::
@@ -52,15 +59,19 @@ SCHEDULER_THRESHOLD = 0.70  # fail below 70% of the committed baseline
 TELEMETRY_THRESHOLD = 0.98  # dormant telemetry hooks must stay within 2%
 STORE_THRESHOLD = 0.98  # dormant result-store hooks must stay within 2%
 RESILIENCE_THRESHOLD = 0.98  # dormant watchdog/fault hooks must stay within 2%
+SOA_THRESHOLD = 0.90  # the SoA engine must stay within 10% of its baseline
 BASELINE_PATH = Path(__file__).parent / "results" / "BENCH_engine.json"
 REPEATS = 3  # best-of-N: the guard asks "can it still go fast", not "mean"
 
 
-def measure_best(repeats: int = REPEATS) -> float:
+def measure_best(repeats: int = REPEATS, backend: str = "object") -> float:
     best = 0.0
     for _ in range(repeats):
         payload = run_engine_bench(
-            scenario_names=[SCENARIO], compare_naive=False, stage_breakdown=False
+            scenario_names=[SCENARIO],
+            compare_naive=False,
+            stage_breakdown=False,
+            backend=backend,
         )
         best = max(best, payload["scenarios"][SCENARIO]["fast"]["cycles_per_sec"])
     return best
@@ -70,20 +81,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check",
-        choices=["scheduler", "telemetry", "store", "resilience", "all"],
+        choices=["scheduler", "telemetry", "store", "resilience", "soa", "all"],
         default="scheduler",
         help="which throughput floor(s) to enforce",
     )
     args = parser.parse_args(argv)
 
     baseline_doc = json.loads(BASELINE_PATH.read_text())
-    try:
-        baseline = baseline_doc["scenarios"][SCENARIO]["fast"]["cycles_per_sec"]
-    except KeyError:
-        print(f"FAIL: no '{SCENARIO}' baseline in {BASELINE_PATH}")
-        return 1
-
-    best = measure_best()
+    scenario_doc = baseline_doc["scenarios"].get(SCENARIO, {})
 
     thresholds = {
         "scheduler": SCHEDULER_THRESHOLD,
@@ -93,6 +98,37 @@ def main(argv=None) -> int:
     }
     selected = list(thresholds) if args.check == "all" else [args.check]
     failed = False
+
+    if "soa" in selected or args.check == "all":
+        try:
+            soa_baseline = scenario_doc["soa"]["cycles_per_sec"]
+        except KeyError:
+            print(
+                f"FAIL: no '{SCENARIO}' SoA baseline in {BASELINE_PATH} "
+                "(regenerate with: repro bench --compare-soa --out "
+                f"{BASELINE_PATH})"
+            )
+            return 1
+        soa_best = measure_best(backend="soa")
+        floor = SOA_THRESHOLD * soa_baseline
+        ok = soa_best >= floor
+        failed = failed or not ok
+        print(
+            f"{'PASS' if ok else 'FAIL'} [soa]: {SCENARIO} "
+            f"best-of-{REPEATS} {soa_best:.1f} cyc/s vs SoA baseline "
+            f"{soa_baseline:.1f} (floor {floor:.1f} = {SOA_THRESHOLD:.0%})"
+        )
+        selected = [c for c in selected if c != "soa"]
+        if not selected:
+            return 1 if failed else 0
+
+    try:
+        baseline = scenario_doc["fast"]["cycles_per_sec"]
+    except KeyError:
+        print(f"FAIL: no '{SCENARIO}' baseline in {BASELINE_PATH}")
+        return 1
+
+    best = measure_best()
     for check in selected:
         threshold = thresholds[check]
         floor = threshold * baseline

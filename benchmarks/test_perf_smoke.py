@@ -20,7 +20,9 @@ from repro.perf import run_engine_bench
 
 def test_engine_throughput(benchmark, results_dir):
     payload = benchmark.pedantic(
-        lambda: run_engine_bench(compare_naive=True), rounds=1, iterations=1
+        lambda: run_engine_bench(compare_naive=True, compare_soa=True),
+        rounds=1,
+        iterations=1,
     )
     (results_dir / "BENCH_engine.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -57,6 +59,15 @@ def test_engine_throughput(benchmark, results_dir):
         "sms",
         "kernel_completion",
     }
+
+    # The SoA engine simulated the same cycles and recorded its speedup
+    # (the baseline ``check_perf_regression --check soa`` guards).
+    for name, entry in scenarios.items():
+        assert entry["soa"]["cycles"] == entry["fast"]["cycles"], name
+        assert "speedup_vs_object" in entry["soa"], name
+    # The scheduler-bound scenario is the one the SoA core targets: it
+    # must actually be faster than the object engine, not just equal.
+    assert scheduler_bound["soa"]["speedup_vs_object"] > 1.0
 
     # Throughput sanity: both scenarios should simulate at least a few
     # thousand cycles per second on any host this runs on.

@@ -181,8 +181,17 @@ def cmd_figure(args) -> int:
 def cmd_bench(args) -> int:
     import json
 
+    from repro.engine_soa import backend_from_env, resolve_backend
     from repro.perf import SCENARIOS, run_engine_bench
 
+    try:
+        backend = (
+            resolve_backend(args.backend, source="--backend value")
+            if args.backend is not None
+            else backend_from_env()
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     payload = run_engine_bench(
         scenario_names=args.scenarios or list(SCENARIOS),
         channels=args.channels,
@@ -191,6 +200,8 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         compare_naive=args.compare,
         stage_breakdown=not args.no_stages,
+        backend=backend,
+        compare_soa=args.compare_soa,
     )
     text = json.dumps(payload, indent=2)
     if args.out == "-":
@@ -204,6 +215,8 @@ def cmd_bench(args) -> int:
             line = f"  {name}: {fast['cycles_per_sec']:,.0f} cyc/s"
             if "speedup_vs_naive" in entry:
                 line += f" ({entry['speedup_vs_naive']}x vs naive loop)"
+            if "soa" in entry:
+                line += f" (SoA {entry['soa']['speedup_vs_object']}x vs object)"
             print(line)
     return 0
 
@@ -509,9 +522,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--sms", type=int, default=10, help="number of SMs")
     bench.add_argument(
+        "--backend",
+        default=None,
+        help="engine backend for the timed runs: object | soa "
+        "(default: REPRO_ENGINE or object)",
+    )
+    bench.add_argument(
         "--compare",
         action="store_true",
         help="also time the naive cycle-by-cycle loop and report the speedup",
+    )
+    bench.add_argument(
+        "--compare-soa",
+        action="store_true",
+        help="also time the SoA engine per scenario and record its speedup "
+        "over the object run (object backend only)",
     )
     bench.add_argument(
         "--no-stages",

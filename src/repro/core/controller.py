@@ -151,6 +151,9 @@ class MemoryController:
             if len(self.pim_queue) >= self.pim_queue_size:
                 self.stats.pim_rejected += 1
                 return False
+            request.mc_seq = self._next_seq
+            self._next_seq += 1
+            request.cycle_mc_arrival = cycle
             self.pim_queue.append(request)
             self.stats.pim_arrivals += 1
             k = self.stats.kernel_pim_arrivals
@@ -159,13 +162,16 @@ class MemoryController:
             if len(self.mem_queue) >= self.mem_queue_size:
                 self.stats.mem_rejected += 1
                 return False
+            # Stamp the arrival sequence before the append: indexed queue
+            # implementations (the SoA backend's per-bank head/hit caches)
+            # read ``mc_seq`` inside ``append``.
+            request.mc_seq = self._next_seq
+            self._next_seq += 1
+            request.cycle_mc_arrival = cycle
             self.mem_queue.append(request)
             self.stats.mem_arrivals += 1
             k = self.stats.kernel_mem_arrivals
             k[request.kernel_id] = k.get(request.kernel_id, 0) + 1
-        request.mc_seq = self._next_seq
-        self._next_seq += 1
-        request.cycle_mc_arrival = cycle
         if self.telemetry is not None:
             # Snapshot the other-mode cycle counter; the delta at issue time
             # is the mode-blocked share of this request's MC wait.

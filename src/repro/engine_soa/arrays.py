@@ -1,0 +1,287 @@
+"""Preallocated array state backing the SoA engine.
+
+Three pieces live here:
+
+* :class:`BankArrays` — every per-bank quantity the hot loops touch, as
+  ``(num_channels, banks_per_channel)`` numpy arrays: the five timing
+  rails, the open row, the conflict/issued flags, and the per-bank MEM
+  queue digests (live count, oldest arrival seq, oldest row-hit seq).
+* :class:`ArrayBankState` — a drop-in replacement for
+  :class:`repro.dram.bank.BankState` whose fields are *views* into the
+  arrays.  Cold paths (other policies, the PIM executor's row switch,
+  refresh, tests poking ``bank.state``) keep working unchanged through
+  the property layer; only the fused hot loops read the arrays directly.
+* :class:`SoAMemQueue` — the per-bank indexed MEM queue extended to
+  maintain the array digests eagerly, so the FR-FCFS pick is a masked
+  argmin instead of a per-bank scan.
+
+Sentinels: ``NOROW`` (-1) marks a closed row buffer (rows are
+non-negative everywhere else); ``NOSEQ`` (a huge seq) marks "no live
+request", so it never wins an argmin against a real arrival seq.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - numpy is a declared dep
+    raise ImportError(
+        "the SoA engine backend requires numpy; install numpy or select "
+        "the object backend (REPRO_ENGINE=object / backend='object')"
+    ) from exc
+
+from repro.core.memq import BankIndexedMemQueue
+from repro.dram.bank import AccessKind
+from repro.request import Request
+
+#: ``open_row`` value for a closed (precharged) row buffer.
+NOROW = -1
+
+#: ``head_seq``/``hit_seq`` value when no live request qualifies.  Larger
+#: than any real ``mc_seq`` (which counts arrivals), so masked argmin
+#: reductions never select it over a live candidate.
+NOSEQ = 1 << 62
+
+#: Penalty added to non-hit candidates in the combined ``score`` digest:
+#: ``score = min(hit_seq, head_seq + HIT_BIAS)``.  Any row hit
+#: (< HIT_BIAS) beats any non-hit (>= HIT_BIAS), and within each class
+#: the smaller arrival seq wins — the FR-FCFS order, in one argmin.
+#: A bank with no live work scores ``NOSEQ`` (>= ``NOSEQ`` means idle).
+HIT_BIAS = 1 << 61
+
+
+class BankArrays:
+    """All per-bank hot state as ``(channels, banks)`` arrays."""
+
+    __slots__ = (
+        "num_channels",
+        "banks_per_channel",
+        "accept_at",
+        "next_col",
+        "pre_ready",
+        "act_ready",
+        "busy_until",
+        "open_row",
+        "head_seq",
+        "hit_seq",
+        "score",
+        "bank_live",
+        "conflict",
+        "issued",
+        "has_conflict",
+        "has_issued",
+    )
+
+    def __init__(self, num_channels: int, banks_per_channel: int) -> None:
+        self.num_channels = num_channels
+        self.banks_per_channel = banks_per_channel
+        shape = (num_channels, banks_per_channel)
+        # Timing rails (cycles).
+        self.accept_at = np.zeros(shape, dtype=np.int64)
+        self.next_col = np.zeros(shape, dtype=np.int64)
+        self.pre_ready = np.zeros(shape, dtype=np.int64)
+        self.act_ready = np.zeros(shape, dtype=np.int64)
+        self.busy_until = np.zeros(shape, dtype=np.int64)
+        # Row-buffer state.
+        self.open_row = np.full(shape, NOROW, dtype=np.int64)
+        # MEM-queue digests (maintained by SoAMemQueue).
+        self.head_seq = np.full(shape, NOSEQ, dtype=np.int64)
+        self.hit_seq = np.full(shape, NOSEQ, dtype=np.int64)
+        self.score = np.full(shape, NOSEQ, dtype=np.int64)
+        self.bank_live = np.zeros(shape, dtype=np.int64)
+        # FR-FCFS switch-trigger flags.
+        self.conflict = np.zeros(shape, dtype=bool)
+        self.issued = np.zeros(shape, dtype=bool)
+        # Per-channel sticky "any bit may be set" flags gating the fused
+        # decide's conflict/issued flag clears.
+        self.has_conflict = [False] * num_channels
+        self.has_issued = [False] * num_channels
+
+
+class ArrayBankState:
+    """``BankState``-compatible facade over one bank's array slots.
+
+    Every field of the dataclass is exposed as a property that reads or
+    writes the corresponding array cell, cast back to plain Python types
+    so values stored into requests/stats stay JSON-clean.  Installed as
+    ``bank.state`` on every bank of an SoA system; note ``Bank.reset()``
+    would replace it with a plain ``BankState`` (SoA systems are built
+    fresh per run and never reset mid-run).
+    """
+
+    __slots__ = ("_a", "_ch", "_bank", "_memq", "busy_intervals")
+
+    def __init__(self, arrays: BankArrays, channel: int, bank: int, memq: "SoAMemQueue") -> None:
+        self._a = arrays
+        self._ch = channel
+        self._bank = bank
+        self._memq = memq
+        self.busy_intervals = []
+
+    # -- row buffer ------------------------------------------------------
+
+    @property
+    def open_row(self):
+        row = self._a.open_row[self._ch, self._bank]
+        return int(row) if row >= 0 else None
+
+    @open_row.setter
+    def open_row(self, value) -> None:
+        self._a.open_row[self._ch, self._bank] = NOROW if value is None else value
+        # The row-hit digest is defined against the open row: re-derive it
+        # whenever a cold path (PIM row switch, refresh) moves the row.
+        self._memq.resync_hit(self._bank)
+
+    # -- timing rails ----------------------------------------------------
+
+    @property
+    def accept_at(self) -> int:
+        return int(self._a.accept_at[self._ch, self._bank])
+
+    @accept_at.setter
+    def accept_at(self, value: int) -> None:
+        self._a.accept_at[self._ch, self._bank] = value
+
+    @property
+    def next_col(self) -> int:
+        return int(self._a.next_col[self._ch, self._bank])
+
+    @next_col.setter
+    def next_col(self, value: int) -> None:
+        self._a.next_col[self._ch, self._bank] = value
+
+    @property
+    def pre_ready(self) -> int:
+        return int(self._a.pre_ready[self._ch, self._bank])
+
+    @pre_ready.setter
+    def pre_ready(self, value: int) -> None:
+        self._a.pre_ready[self._ch, self._bank] = value
+
+    @property
+    def act_ready(self) -> int:
+        return int(self._a.act_ready[self._ch, self._bank])
+
+    @act_ready.setter
+    def act_ready(self, value: int) -> None:
+        self._a.act_ready[self._ch, self._bank] = value
+
+    @property
+    def busy_until(self) -> int:
+        return int(self._a.busy_until[self._ch, self._bank])
+
+    @busy_until.setter
+    def busy_until(self, value: int) -> None:
+        self._a.busy_until[self._ch, self._bank] = value
+
+    # -- switch-trigger flags -------------------------------------------
+
+    @property
+    def conflict_bit(self) -> bool:
+        return bool(self._a.conflict[self._ch, self._bank])
+
+    @conflict_bit.setter
+    def conflict_bit(self, value: bool) -> None:
+        self._a.conflict[self._ch, self._bank] = value
+        if value:
+            self._a.has_conflict[self._ch] = True
+
+    @property
+    def issued_since_switch(self) -> bool:
+        return bool(self._a.issued[self._ch, self._bank])
+
+    @issued_since_switch.setter
+    def issued_since_switch(self, value: bool) -> None:
+        self._a.issued[self._ch, self._bank] = value
+        if value:
+            self._a.has_issued[self._ch] = True
+
+    # -- BankState behaviour --------------------------------------------
+
+    def classify(self, row: int) -> AccessKind:
+        open_row = self._a.open_row[self._ch, self._bank]
+        if open_row < 0:
+            return AccessKind.MISS
+        if open_row == row:
+            return AccessKind.HIT
+        return AccessKind.CONFLICT
+
+    def is_idle(self, cycle: int) -> bool:
+        return cycle >= self._a.busy_until[self._ch, self._bank]
+
+
+class SoAMemQueue(BankIndexedMemQueue):
+    """Indexed MEM queue that mirrors its per-bank digests into arrays.
+
+    On top of the base queue's lazily-trimmed deques, three per-bank
+    digests are kept *eagerly* consistent in :class:`BankArrays`:
+
+    * ``bank_live[ch, b]`` — live request count (mirror of the base
+      class's ``_bank_live`` list),
+    * ``head_seq[ch, b]`` — ``mc_seq`` of the oldest live request,
+    * ``hit_seq[ch, b]`` — ``mc_seq`` of the oldest live request whose
+      row matches the bank's *currently open* row.
+
+    Appends carry a fresh, strictly increasing ``mc_seq`` (the
+    controller stamps it before the append), so an append only lowers a
+    digest when it was empty; removals re-derive a digest only when the
+    removed request *was* the digest.  Row-buffer moves re-derive
+    ``hit_seq`` via :meth:`resync_hit` (called by ``ArrayBankState`` and
+    the fused issue path).
+    """
+
+    __slots__ = ("_arrays", "_channel")
+
+    def __init__(self, num_banks: int, arrays: BankArrays, channel: int) -> None:
+        super().__init__(num_banks)
+        self._arrays = arrays
+        self._channel = channel
+
+    def append(self, request: Request) -> None:
+        super().append(request)
+        a = self._arrays
+        ch = self._channel
+        bank = request.bank
+        a.bank_live[ch, bank] += 1
+        seq = request.mc_seq
+        head = int(a.head_seq[ch, bank])
+        hit = int(a.hit_seq[ch, bank])
+        if head == NOSEQ:
+            head = seq
+            a.head_seq[ch, bank] = seq
+        if hit == NOSEQ and a.open_row[ch, bank] == request.row:
+            hit = seq
+            a.hit_seq[ch, bank] = seq
+        biased = head + HIT_BIAS
+        a.score[ch, bank] = hit if hit < biased else biased
+
+    def remove(self, request: Request) -> None:
+        super().remove(request)
+        a = self._arrays
+        ch = self._channel
+        bank = request.bank
+        a.bank_live[ch, bank] -= 1
+        seq = request.mc_seq
+        if a.head_seq[ch, bank] == seq:
+            head = self.bank_head(bank)
+            a.head_seq[ch, bank] = head.mc_seq if head is not None else NOSEQ
+        if a.hit_seq[ch, bank] == seq:
+            self.resync_hit(bank)  # also refreshes the score
+        else:
+            hit = int(a.hit_seq[ch, bank])
+            biased = int(a.head_seq[ch, bank]) + HIT_BIAS
+            a.score[ch, bank] = hit if hit < biased else biased
+
+    def resync_hit(self, bank: int) -> None:
+        """Re-derive ``hit_seq`` (and the score) for ``bank``."""
+        a = self._arrays
+        ch = self._channel
+        row = int(a.open_row[ch, bank])
+        if row < 0:
+            hit = NOSEQ
+        else:
+            head = self.row_head(bank, row)
+            hit = head.mc_seq if head is not None else NOSEQ
+        a.hit_seq[ch, bank] = hit
+        biased = int(a.head_seq[ch, bank]) + HIT_BIAS
+        a.score[ch, bank] = hit if hit < biased else biased

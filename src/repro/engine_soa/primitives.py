@@ -1,0 +1,108 @@
+"""Vectorized primitives for the SoA engine's hot loops.
+
+Each function here replaces one scalar per-bank (or per-warp) scan from
+the object engine with a masked numpy reduction, and each has a unit
+test in ``tests/test_engine_soa.py`` pitting it against the scalar
+reference on randomized inputs.  All take 1-D per-bank arrays (one
+channel's row of :class:`repro.engine_soa.arrays.BankArrays`) so they
+can be exercised standalone.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.engine_soa.arrays import NOSEQ
+
+
+def bank_ready_mask(
+    accept_at: np.ndarray,
+    bank_live: np.ndarray,
+    conflict: np.ndarray,
+    cycle: int,
+    exclude_conflicts: bool = True,
+) -> np.ndarray:
+    """Banks that could issue a MEM request this cycle.
+
+    Mirrors the gate at the top of ``frfcfs_pick``: the bank has live
+    queued work, its command rail accepts a new command
+    (``cycle >= accept_at``), and — in conflict-excluding mode — its
+    conflict bit is clear.
+    """
+    ready = (accept_at <= cycle) & (bank_live > 0)
+    if exclude_conflicts:
+        ready &= ~conflict
+    return ready
+
+
+def frfcfs_argmin_pick(
+    ready: np.ndarray,
+    head_seq: np.ndarray,
+    hit_seq: np.ndarray,
+) -> Tuple[int, bool]:
+    """FR-FCFS winner over ready banks: ``(bank, is_row_hit)``.
+
+    Row hits win over non-hits; within each class the oldest arrival
+    (minimum ``mc_seq``) wins, matching the scalar scan's tie-breaking
+    exactly because ``mc_seq`` values are unique.  Returns ``(-1,
+    False)`` when no ready bank has work.
+    """
+    if not ready.any():
+        return -1, False
+    masked_hits = np.where(ready, hit_seq, NOSEQ)
+    bank = int(np.argmin(masked_hits))
+    if masked_hits[bank] != NOSEQ:
+        return bank, True
+    masked_heads = np.where(ready, head_seq, NOSEQ)
+    bank = int(np.argmin(masked_heads))
+    if masked_heads[bank] != NOSEQ:
+        return bank, False
+    return -1, False
+
+
+def conflict_update_mask(
+    bank_live: np.ndarray,
+    issued: np.ndarray,
+    conflict: np.ndarray,
+    open_row: np.ndarray,
+    hit_seq: np.ndarray,
+) -> np.ndarray:
+    """Banks whose conflict bit should newly be set.
+
+    Matches ``FRFCFS._update_conflict_bits``: the bank has pending work,
+    has issued since the last mode switch, is not already marked, has an
+    open row, and no queued request targets that open row (``hit_seq``
+    is the NOSEQ sentinel exactly when no queued request hits the open
+    row).
+    """
+    return (bank_live > 0) & issued & ~conflict & (open_row >= 0) & (hit_seq == NOSEQ)
+
+
+def all_pending_stalled(bank_live: np.ndarray, conflict: np.ndarray) -> bool:
+    """True when every bank with pending work has its conflict bit set.
+
+    Matches ``FRFCFS._all_pending_banks_stalled``: vacuously False when
+    no bank has work.
+    """
+    work = bank_live > 0
+    if not work.any():
+        return False
+    return not (work & ~conflict).any()
+
+
+def warp_ready_batch(
+    done: np.ndarray,
+    pending: np.ndarray,
+    compute_until: np.ndarray,
+    cycle: int,
+) -> np.ndarray:
+    """Warps whose due event resolves straight to "issuable".
+
+    A popped due warp is immediately issuable when it is not done, still
+    has pending requests from its current phase, and its compute window
+    has elapsed.  Warps outside this mask need the scalar path (phase
+    advance, reply blocking, program exhaustion).
+    """
+    return (~done) & (pending > 0) & (compute_until <= cycle)

@@ -1,0 +1,122 @@
+"""Warp-program record/replay cache for looping kernels.
+
+The co-execution methodology re-launches each kernel in a loop, and
+``KernelInstance.warp_program`` deliberately seeds each warp's RNG
+independently of the launch number — every launch replays the *same*
+request trace.  The object engine still pays the full generation cost
+(numpy RNG draws, address encoding, dataclass construction overhead)
+on every launch; under the SoA backend the first launch records each
+warp's phases and later launches replay them, rebuilding only the
+:class:`~repro.request.Request` objects (which are mutated in flight
+and must be fresh per launch).
+
+Recording is exact: a replayed phase carries requests with the same
+type/address/kernel_id/pim_op/size and the same pre-decoded
+channel/bank/row/column, constructed in the same order and at the same
+point in the generator protocol (lazily, as each phase is requested),
+so global request-id consumption and RNG-free behaviour match the
+original stream.  Only the synthetic spec classes are cached — their
+programs depend solely on ``(seed, spec name, sm_slot, warp)``; unknown
+user specs fall back to normal generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.gpu.kernel import KernelInstance, Phase, WarpProgram
+from repro.request import Request
+from repro.workloads.synthetic import GPUKernelProfile, PIMGemvKernel, PIMStreamKernel
+
+#: Spec classes whose warp programs are launch-invariant by construction.
+#: Exact-type match (not isinstance): a subclass may override
+#: ``warp_program`` with launch-dependent behaviour.
+REPLAYABLE_SPECS = (GPUKernelProfile, PIMStreamKernel, PIMGemvKernel)
+
+#: One recorded request: constructor fields + pre-decoded address fields.
+_RequestRecord = Tuple[object, int, int, object, int, int, int, int, int]
+
+#: One recorded phase: (compute_cycles, wait_for_replies, requests).
+_PhaseRecord = Tuple[int, bool, Tuple[_RequestRecord, ...]]
+
+
+def _record_request(request: Request) -> _RequestRecord:
+    return (
+        request.type,
+        request.address,
+        request.kernel_id,
+        request.pim_op,
+        request.size,
+        request.channel,
+        request.bank,
+        request.row,
+        request.column,
+    )
+
+
+def _replay_request(record: _RequestRecord) -> Request:
+    rtype, address, kernel_id, pim_op, size, channel, bank, row, column = record
+    request = Request(type=rtype, address=address, kernel_id=kernel_id, pim_op=pim_op, size=size)
+    request.channel, request.bank, request.row, request.column = channel, bank, row, column
+    return request
+
+
+class WarpProgramCache:
+    """Per-system cache of recorded warp programs.
+
+    Keyed by ``(kernel_id, sm_slot, warp)`` — the full determinant of a
+    synthetic warp program for a fixed system seed.  A recording is only
+    replayed once marked complete (the original generator was exhausted);
+    a warp abandoned mid-program (never happens in normal runs, but
+    cheap to guard) is simply re-recorded on the next launch.
+    """
+
+    def __init__(self) -> None:
+        self._programs: Dict[Tuple[int, int, int], List[_PhaseRecord]] = {}
+        self._complete: Dict[Tuple[int, int, int], bool] = {}
+
+    def program(self, key: Tuple[int, int, int], factory) -> WarpProgram:
+        if self._complete.get(key):
+            return self._replay(self._programs[key])
+        return self._record(key, factory())
+
+    def _record(self, key: Tuple[int, int, int], source: WarpProgram) -> Iterator[Phase]:
+        phases: List[_PhaseRecord] = []
+        self._programs[key] = phases
+        self._complete[key] = False
+        for phase in source:
+            phases.append(
+                (
+                    phase.compute_cycles,
+                    phase.wait_for_replies,
+                    tuple(_record_request(r) for r in phase.requests),
+                )
+            )
+            yield phase
+        self._complete[key] = True
+
+    @staticmethod
+    def _replay(phases: List[_PhaseRecord]) -> Iterator[Phase]:
+        for compute_cycles, wait_for_replies, records in phases:
+            yield Phase(
+                compute_cycles=compute_cycles,
+                requests=[_replay_request(r) for r in records],
+                wait_for_replies=wait_for_replies,
+            )
+
+
+class ReplayKernelInstance(KernelInstance):
+    """Kernel instance whose warp programs go through a replay cache.
+
+    The cache is shared across launches of the same kernel (it lives on
+    the system, keyed by kernel id), so the second and later launches of
+    a looping kernel skip RNG and address-encoding work entirely.
+    """
+
+    def __init__(self, spec, ctx, kernel_id: int, seed: int, cache: WarpProgramCache) -> None:
+        super().__init__(spec, ctx, kernel_id, seed=seed)
+        self._cache = cache
+
+    def warp_program(self, sm_slot: int, warp: int) -> WarpProgram:
+        key = (self.kernel_id, sm_slot, warp)
+        return self._cache.program(key, lambda: super(ReplayKernelInstance, self).warp_program(sm_slot, warp))

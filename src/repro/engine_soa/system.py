@@ -1,0 +1,1008 @@
+"""Struct-of-arrays engine: ``SoAGPUSystem``.
+
+A drop-in subclass of :class:`repro.sim.system.GPUSystem` that keeps the
+hot per-cycle state in :class:`~repro.engine_soa.arrays.BankArrays` and
+replaces the three hottest stage loops with fused implementations:
+
+* **controllers** — FR-FCFS decide + issue collapsed into one pass over
+  the bank arrays: the conflict-bit update, the all-stalled check, and
+  the hit/oldest pick are masked reductions; the winning request's DRAM
+  command schedule (the ``Bank.schedule`` math) is inlined on the array
+  cells.
+* **sms** — due-event processing with batched readiness classification,
+  a full-output-queue fast path that skips the issue scan entirely
+  (with no L1 and a single VC, nothing can issue into a full queue),
+  and an inlined issue loop with direct queue access.
+* **crossbar / l2 / mc_ingress / completions** — the single-VC cases of
+  the object stages with the per-request indirection (``heads()`` lists,
+  ``can_push``/``pop_matching`` dispatch) flattened out.
+
+Exactness is the design invariant, not an aspiration: every fused path
+replicates the object engine's statement order (queue removal before
+rail updates, wake/dirty bookkeeping, stats and telemetry gating), and
+every configuration a fused path does not cover — telemetry attached,
+two virtual channels, mesh topology, refresh enabled, a policy other
+than plain FR-FCFS — falls back to the inherited object implementation
+mid-flight.  The object and SoA backends therefore produce byte-identical
+``SimResult``/store fingerprints (``tests/test_engine_soa.py``).
+
+Warp programs of looping synthetic kernels are additionally wrapped in a
+record/replay cache (:mod:`repro.engine_soa.replay`): relaunches skip
+RNG draws and address encoding.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+
+import numpy as np
+
+from repro.cache.l2 import LookupResult
+from repro.config import SystemConfig
+from repro.core.controller import NEVER, MemoryController
+from repro.dram.bank import AccessKind
+from repro.core.policies import PolicySpec
+from repro.core.policies.frfcfs import FRFCFS
+from repro.engine_soa.arrays import HIT_BIAS, NOSEQ, ArrayBankState, BankArrays, SoAMemQueue
+from repro.engine_soa.primitives import warp_ready_batch
+from repro.engine_soa.replay import REPLAYABLE_SPECS, ReplayKernelInstance, WarpProgramCache
+from repro.gpu.kernel import KernelInstance, LaunchContext
+from repro.gpu.sm import SM
+from repro.request import Mode, Request, RequestType
+from repro.sim.system import GPUSystem, KernelRun
+
+#: Minimum popped due entries for the vectorized readiness classification;
+#: below this the numpy gather costs more than the scalar checks.
+_WARP_BATCH_MIN = 8
+
+# AccessKind singletons hoisted out of the issue path.
+_HIT = AccessKind.HIT
+_MISS = AccessKind.MISS
+_CONFLICT = AccessKind.CONFLICT
+
+
+class _WakeFilteredController(MemoryController):
+    """FR-FCFS controller whose ``enqueue`` drops provably-inert wakes.
+
+    The dirty flag exists so an arrival can change the next decide.  For
+    plain FR-FCFS (no refresh) most arrivals provably cannot:
+
+    * while switching, the post-drain tick re-reads the queues anyway
+      (and the drain-complete cycle only depends on in-flight work);
+    * a PIM arrival behind an existing PIM head leaves both the FCFS head
+      and the oldest-is-PIM comparison unchanged;
+    * a MEM arrival in PIM mode with a live PIM head carries a larger
+      ``mc_seq`` than that head, so the older-MEM switch check stays
+      false until the head itself changes (our own issue);
+    * the first PIM arrival in MEM mode has the largest ``mc_seq`` of
+      any queued request, so oldest-is-other stays false while the MEM
+      queue is non-empty (and MEM drain re-evaluates the fallback).
+
+    In each retracted case the controller is already parked at (or
+    active before) the next cycle its decide could change, so skipping
+    the wake leaves the issue stream bit-identical.  Telemetry runs keep
+    every wake — mc-blocked attribution snapshots depend on arrival-time
+    state.
+    """
+
+    #: Under the all-fused array scheduler: ``(wake_array, channel, system)``.
+    #: Enqueues that survive the retraction filter signal the array directly,
+    #: replacing the active-set/wake-heap plumbing of the object stage.
+    _soa_sched = None
+
+    def enqueue(self, request: Request, cycle: int) -> bool:
+        dirty_before = self._dirty
+        if not MemoryController.enqueue(self, request, cycle):
+            return False
+        if self.telemetry is not None:
+            return True
+        if self._switch_target is not None:
+            self._dirty = dirty_before
+        elif request.is_pim:
+            if len(self.pim_queue) > 1 or (self.mode is Mode.MEM and self.mem_queue):
+                self._dirty = dirty_before
+        elif self.mode is Mode.PIM and self.pim_queue:
+            self._dirty = dirty_before
+        if self._dirty and self._soa_sched is not None:
+            wake, ch, system = self._soa_sched
+            wake[ch] = 0
+            system._ctl_min = 0
+        return True
+
+
+class _WakeFilteredSM(SM):
+    """SM (no L1) whose ``receive_reply`` drops provably-inert wakes.
+
+    A reply always decrements ``outstanding_loads``; that only matters if
+    an issuable warp exists (the outstanding limit may now pass).  The
+    other way a reply changes the next step is by re-arming its warp's
+    phase advance, which pushes a due entry at ``max(compute_until,
+    cycle)``: a push at ``cycle`` must be processed this very step, and a
+    future push below the parked wake needs the earlier wake the dirty
+    flag provides.  Every other reply leaves the next step a no-op, so
+    the wake (and the step's full warp rescan) is skipped.
+    """
+
+    def receive_reply(self, request: Request, cycle: int) -> None:
+        dirty_before = self._dirty
+        SM.receive_reply(self, request, cycle)
+        if self._issuable:
+            return
+        warp = self.warps[request.warp]
+        if (
+            not warp.done
+            and not warp.pending
+            and not (warp.wait_for_replies and warp.waiting_replies > 0)
+        ):
+            # The base method pushed a due entry at max(compute_until, cycle).
+            until = warp.compute_until
+            if until <= cycle or until < self._next_wake:
+                return
+        self._dirty = dirty_before
+
+
+class SoAGPUSystem(GPUSystem):
+    """GPUSystem with struct-of-arrays hot loops (see module docstring)."""
+
+    def __init__(self, config: SystemConfig, policy: PolicySpec, **kwargs) -> None:
+        super().__init__(config, policy, **kwargs)
+        num_banks = config.banks_per_channel
+        self._ba = BankArrays(config.num_channels, num_banks)
+        self._timings = config.timings
+        self._vc1 = config.num_virtual_channels == 1
+        self._warp_cache = WarpProgramCache()
+        # Per-controller fused-path eligibility: plain FR-FCFS (subclasses
+        # like FRFCFSCap override decide) and no refresh machinery.  The
+        # telemetry gate is checked per call — it can be enabled later.
+        self._fused_ctl = []
+        for ch, controller in enumerate(self.controllers):
+            queue = SoAMemQueue(num_banks, self._ba, ch)
+            controller.mem_queue = queue
+            for b, bank in enumerate(controller.channel.banks):
+                bank.state = ArrayBankState(self._ba, ch, b, queue)
+            fused = type(controller.policy) is FRFCFS and not controller.refresh.enabled
+            self._fused_ctl.append(fused)
+            if fused:
+                # Same object, stricter enqueue: drop wakes that cannot
+                # change a decide (see _WakeFilteredController).
+                controller.__class__ = _WakeFilteredController
+        for sm in self.sms:
+            if sm.l1 is None:
+                # Same object, stricter receive_reply (no local L1 replies
+                # to interact with): see _WakeFilteredSM.
+                sm.__class__ = _WakeFilteredSM
+        # Stable object caches for the fused (single-VC) stage loops:
+        # queue 0 of each VCBuffer, and the per-channel controller parts.
+        self._sm_q0 = [b._queues[0] for b in self.sm_buffers]
+        self._in_q0 = [b._queues[0] for b in self.input_buffers]
+        self._dram_q0 = [b._queues[0] for b in self.dram_queues]
+        self._ctl_refs = [(c, c.channel, c.pim_exec) for c in self.controllers]
+        # All-fused array scheduler: when every controller is fused (and
+        # telemetry is off), the controllers stage replaces the active-set
+        # + wake-heap plumbing with one wake-cycle array — ``wake[ch] <=
+        # cycle`` means "examine this cycle"; 0 means "dirty".  ``_ctl_min``
+        # caches ``wake.min()`` so idle cycles cost one compare, and feeds
+        # the quiescence/fast-forward contract (see ``_quiescent``).
+        self._all_fused = all(self._fused_ctl)
+        # Plain lists, not numpy: at 8-16 channels scalar compares beat
+        # array-op dispatch overhead.
+        self._ctl_wake = [0] * config.num_channels
+        self._ctl_min = 0
+        self._comp_next = [0] * config.num_channels
+        if self._all_fused:
+            for ch, controller in enumerate(self.controllers):
+                controller._soa_sched = (self._ctl_wake, ch, self)
+
+    # -- kernel launch ----------------------------------------------------
+
+    def _create_instance(self, run: KernelRun, ctx: LaunchContext) -> KernelInstance:
+        # Replay only pays off on relaunches, so gate on looping runs; the
+        # synthetic specs are launch-invariant by construction (the warp
+        # RNG is seeded without the launch id).
+        if run.loop and type(run.spec) in REPLAYABLE_SPECS:
+            return ReplayKernelInstance(
+                run.spec, ctx, run.kernel_id, seed=self.seed, cache=self._warp_cache
+            )
+        return super()._create_instance(run, ctx)
+
+    # -- completions -------------------------------------------------------
+
+    def _stage_completions(self) -> None:
+        busy = self._busy_channels
+        if not busy:
+            return
+        cycle = self.cycle
+        refs = self._ctl_refs
+        # ``_comp_next`` caches each busy channel's earliest completion so
+        # the common no-completion cycle is one int compare instead of two
+        # heap-head peeks.  Only valid while every issue goes through the
+        # fused paths (which maintain it); the object issue paths do not,
+        # so mixed-policy and telemetry runs fall back to peeking.
+        fast = self._all_fused and self.telemetry is None
+        comp = self._comp_next
+        for ch in busy.snapshot():
+            if fast and comp[ch] > cycle:
+                continue
+            controller, channel, pim_exec = refs[ch]
+            mem_flight = channel._in_flight
+            pim_flight = pim_exec._in_flight
+            if (not mem_flight or mem_flight[0][0] > cycle) and (
+                not pim_flight or pim_flight[0][0] > cycle
+            ):
+                if not mem_flight and not pim_flight:
+                    busy.discard(ch)
+                    comp[ch] = NEVER
+                else:
+                    nxt = mem_flight[0][0] if mem_flight else NEVER
+                    if pim_flight and pim_flight[0][0] < nxt:
+                        nxt = pim_flight[0][0]
+                    comp[ch] = nxt
+                continue
+            done = controller.pop_completed(cycle)
+            if done:
+                # Unlike the object stage, no controller wake: a completion
+                # changes neither queue heads, bank rails, the PIM busy
+                # window, nor a parked drain deadline, so no decide can.
+                for request in done:
+                    self._handle_completion(ch, request, cycle)
+            # pop_completed rebuilds the PIM in-flight list: re-read both.
+            mem_flight = channel._in_flight
+            pim_flight = pim_exec._in_flight
+            if not mem_flight and not pim_flight:
+                busy.discard(ch)
+                comp[ch] = NEVER
+            else:
+                nxt = mem_flight[0][0] if mem_flight else NEVER
+                if pim_flight and pim_flight[0][0] < nxt:
+                    nxt = pim_flight[0][0]
+                comp[ch] = nxt
+
+    # -- replies -----------------------------------------------------------
+
+    def _stage_replies(self) -> None:
+        cycle = self.cycle
+        heap = self._reply_heap
+        if not heap or heap[0][0] > cycle:
+            return
+        sm_active = self._sm_active
+        sms = self.sms
+        telemetry = self.telemetry
+        while heap and heap[0][0] <= cycle:
+            _, _, request = heapq.heappop(heap)
+            sm = sms[request.source]
+            sm.receive_reply(request, cycle)
+            if sm._dirty:
+                # A retracted (inert) wake leaves the SM parked on the wake
+                # heap or already in the active set.
+                sm_active.add(request.source)
+            self._finish_request(request)
+            if telemetry is not None:
+                telemetry.record_return(request, cycle)
+
+    # -- controllers -------------------------------------------------------
+
+    def _stage_controllers(self) -> None:
+        if self.telemetry is not None:
+            # The object tick stamps mc_blocked telemetry per issue; the
+            # fused path does not, so telemetry runs drop to the reference.
+            super()._stage_controllers()
+            return
+        if self._all_fused:
+            # Array scheduler: one compare on idle cycles, one masked scan
+            # otherwise — no snapshot lists, no per-channel heap churn.
+            wake = self._ctl_wake
+            active = self._mc_active
+            if active:
+                # Entries parked or woken under the object discipline
+                # (step()'s wake-heap drain, the VC2 ingress): fold them
+                # into the array and re-examine.
+                for ch in active.snapshot():
+                    wake[ch] = 0
+                    active.discard(ch)
+                self._ctl_min = 0
+            cycle = self.cycle
+            if cycle < self._ctl_min:
+                return
+            controllers = self.controllers
+            busy = self._busy_channels
+            for ch, due in enumerate(wake):
+                if due > cycle:
+                    continue
+                controller = controllers[ch]
+                controller._dirty = False
+                if self._fused_tick(controller, ch, cycle) is not None:
+                    busy.add(ch)
+                wake[ch] = 0 if controller._dirty else controller._next_wake
+            self._ctl_min = min(wake)
+            return
+        active = self._mc_active
+        if not active:
+            return
+        cycle = self.cycle
+        controllers = self.controllers
+        wake_heap = self._wake_heap
+        fused = self._fused_ctl
+        for ch in active.snapshot():
+            controller = controllers[ch]
+            if not fused[ch]:
+                if controller.tick(cycle) is not None:
+                    self._busy_channels.add(ch)
+                if controller._dirty:
+                    continue
+                wake = controller.next_wake_cycle(cycle)
+                if wake <= cycle + 1:
+                    continue
+                active.discard(ch)
+                if wake < NEVER:
+                    heapq.heappush(wake_heap, (wake, 0, ch))
+                continue
+            # Fused FR-FCFS controller (refresh disabled): tick gate,
+            # decide, and the next_wake_cycle parking test inlined.
+            if controller._dirty or cycle >= controller._next_wake:
+                controller._dirty = False
+                if self._fused_tick(controller, ch, cycle) is not None:
+                    self._busy_channels.add(ch)
+            if controller._dirty:
+                continue
+            wake = controller._next_wake
+            if wake <= cycle + 1:
+                if (
+                    controller._switch_target is not None
+                    or controller.mem_queue._live
+                    or controller.pim_queue
+                ):
+                    continue
+                active.discard(ch)  # pure idle, no refresh: external wake only
+                continue
+            active.discard(ch)
+            if wake < NEVER:
+                heapq.heappush(wake_heap, (wake, 0, ch))
+
+    def _fused_tick(self, c: MemoryController, ch: int, cycle: int):
+        """``MemoryController.tick`` body for a refresh-free FR-FCFS
+        controller (the dirty/wake gate ran in the stage loop).
+
+        No refresh hook: fused controllers have refresh disabled, so
+        ``_refresh_until`` stays 0 and the object tick would skip it too.
+        """
+        if c._switch_target is not None:
+            if c._drain_done(cycle):
+                c._finish_switch(cycle)
+            else:
+                c._next_wake = max(cycle + 1, c._drain_complete_cycle())
+                return None
+        if c.mode is Mode.MEM:
+            return self._fused_mem(c, ch, cycle)
+        return self._fused_pim(c, ch, cycle)
+
+    def _fused_mem(self, c: MemoryController, ch: int, cycle: int):
+        """FR-FCFS MEM-mode decide + issue over the bank arrays."""
+        a = self._ba
+        mem_queue = c.mem_queue
+        if not mem_queue._live:
+            if c.pim_queue:
+                return self._fused_switch(c, Mode.PIM, cycle)
+            # Both queues empty and no refresh: nothing internal can wake
+            # this controller — park at NEVER; an enqueue (dirty) re-arms.
+            c._next_wake = NEVER
+            return None
+        pim_queue = c.pim_queue
+        stalled = None
+        if pim_queue and pim_queue[0].mc_seq < mem_queue.head().mc_seq:
+            # Oldest overall is PIM: mark newly-stalled banks (pending work,
+            # issued since the switch, open row with no pending hit) and
+            # switch once every bank with work has stalled.
+            live = a.bank_live[ch]
+            conflict = a.conflict[ch]
+            newly = (
+                (live > 0)
+                & a.issued[ch]
+                & ~conflict
+                & (a.open_row[ch] >= 0)
+                & (a.hit_seq[ch] == NOSEQ)
+            )
+            if newly.any():
+                conflict |= newly
+                a.has_conflict[ch] = True
+            if a.has_conflict[ch]:
+                if not ((live > 0) & ~conflict).any():
+                    return self._fused_switch(c, Mode.PIM, cycle)
+                stalled = conflict
+                masked = np.where(
+                    (a.accept_at[ch] > cycle) | conflict, NOSEQ, a.score[ch]
+                )
+            else:
+                masked = np.where(a.accept_at[ch] > cycle, NOSEQ, a.score[ch])
+        else:
+            # clear_conflict_bits(): both flags, every bank (the fills are
+            # gated on the sticky any-bit-set flags).
+            if a.has_conflict[ch]:
+                a.conflict[ch].fill(False)
+                a.has_conflict[ch] = False
+            if a.has_issued[ch]:
+                a.issued[ch].fill(False)
+                a.has_issued[ch] = False
+            masked = np.where(a.accept_at[ch] > cycle, NOSEQ, a.score[ch])
+        # One argmin over the combined score: hits (< HIT_BIAS) beat
+        # non-hits, older arrivals beat newer, NOSEQ means nothing ready.
+        bank = int(masked.argmin())
+        best = int(masked[bank])
+        if best >= NOSEQ:
+            # Every candidate bank (live work, not conflict-masked) has
+            # accept_at in the future, and the decide inputs are static
+            # until an enqueue (dirty) or our own issue: park at the
+            # earliest candidate accept instead of re-ticking every cycle.
+            candidates = a.bank_live[ch] > 0
+            if stalled is not None:
+                candidates &= ~stalled
+            c._next_wake = int(np.where(candidates, a.accept_at[ch], NOSEQ).min())
+            return None
+        if best < HIT_BIAS:
+            request = mem_queue.row_head(bank, int(a.open_row[ch, bank]))
+        else:
+            request = mem_queue.bank_head(bank)
+        return self._fused_issue_mem(c, ch, bank, request, cycle)
+
+    def _fused_issue_mem(
+        self, c: MemoryController, ch: int, bank: int, request: Request, cycle: int
+    ) -> Request:
+        """Inlined ``mem_queue.remove`` + ``Channel.issue_mem`` + bookkeeping."""
+        a = self._ba
+        c.mem_queue.remove(request)
+        t = self._timings
+        channel = c.channel
+        row = request.row
+        open_row = int(a.open_row[ch, bank])
+        next_col = int(a.next_col[ch, bank])
+        is_write = request.type is RequestType.MEM_STORE
+        # Bank.schedule: place PRE/ACT/column commands, advance the rails.
+        act = None
+        if open_row == row:
+            kind = _HIT
+            col = max(cycle, next_col, channel.next_col_bus)
+            first_cmd = col
+        elif open_row < 0:
+            kind = _MISS
+            act = max(cycle, int(a.act_ready[ch, bank]), channel.next_act)
+            col = max(act + t.tRCD, next_col, channel.next_col_bus)
+            first_cmd = act
+        else:
+            kind = _CONFLICT
+            pre = max(cycle, int(a.pre_ready[ch, bank]))
+            act = max(pre + t.tRP, int(a.act_ready[ch, bank]), channel.next_act)
+            col = max(act + t.tRCD, next_col, channel.next_col_bus)
+            first_cmd = pre
+        if is_write:
+            completion = col + t.tWL + t.burst_length
+            write_recovery = completion + t.tWR
+            read_to_pre = 0
+        else:
+            completion = col + t.tCL + t.burst_length
+            write_recovery = 0
+            read_to_pre = col + t.tRTP
+        a.open_row[ch, bank] = row
+        a.next_col[ch, bank] = col + t.tCCDl
+        a.accept_at[ch, bank] = col
+        if act is not None:
+            pre_ready = act + t.tRAS
+            act_ready = act
+        else:
+            pre_ready = int(a.pre_ready[ch, bank])
+            act_ready = int(a.act_ready[ch, bank])
+        pre_ready = max(pre_ready, read_to_pre, write_recovery)
+        a.pre_ready[ch, bank] = pre_ready
+        a.act_ready[ch, bank] = max(act_ready, pre_ready + t.tRP)
+        if completion > int(a.busy_until[ch, bank]):
+            a.busy_until[ch, bank] = completion
+        channel.banks[bank].state.busy_intervals.append((first_cmd, completion))
+        # Channel rails + stats + in-flight heap (Channel.issue_mem tail).
+        channel.next_col_bus = col + t.burst_length
+        if act is not None:
+            channel.next_act = act + t.tRRD
+        channel.stats.record_mem(kind, request)
+        request.access_kind = kind.value
+        request.cycle_issued = cycle
+        channel._heap_seq += 1
+        heapq.heappush(channel._in_flight, (completion, channel._heap_seq, request))
+        if completion < self._comp_next[ch]:
+            self._comp_next[ch] = completion
+        # Controller tail: flags, digests, PIM uniformity, switch conflicts.
+        a.issued[ch, bank] = True
+        a.has_issued[ch] = True
+        c.mem_queue.resync_hit(bank)
+        pim_exec = c.pim_exec
+        if pim_exec._rows_uniform and row != pim_exec.open_row:
+            pim_exec._rows_uniform = False
+        if c._pre_switch_rows:
+            c._attribute_post_switch_conflict(request)
+        c.stats.mem_issued += 1
+        c._next_wake = cycle + 1
+        c._dirty = True
+        return request
+
+    def _fused_pim(self, c: MemoryController, ch: int, cycle: int):
+        """FR-FCFS PIM-mode decide + issue (FCFS head, lock-step executor)."""
+        pim_queue = c.pim_queue
+        if not pim_queue:
+            if c.mem_queue._live:
+                return self._fused_switch(c, Mode.MEM, cycle)
+            # Both queues empty and no refresh: nothing internal can wake
+            # this controller — park at NEVER; an enqueue (dirty) re-arms.
+            c._next_wake = NEVER
+            return None
+        head = pim_queue[0]
+        pim_exec = c.pim_exec
+        mem_head = c.mem_queue.head()
+        if (
+            mem_head is not None
+            and mem_head.mc_seq < head.mc_seq
+            and pim_exec.would_switch_row(head)
+        ):
+            return self._fused_switch(c, Mode.MEM, cycle)
+        if cycle < pim_exec.busy_until:
+            # The decide inputs are static until an enqueue (dirty) or our
+            # own issue, and the busy gate holds until busy_until: park
+            # there instead of re-ticking every cycle like the object.
+            c._next_wake = pim_exec.busy_until
+            return None
+        pim_queue.popleft()
+        # PIMExecutor.issue, inlined (lock-step FCFS, one op at a time).
+        t = self._timings
+        stats = pim_exec.stats
+        next_col = pim_exec.next_col
+        if head.pim_op.kind.accesses_dram:
+            if pim_exec.would_switch_row(head):
+                start = pim_exec._switch_row(head.row, cycle, t)
+            else:
+                start = cycle if cycle > next_col else next_col
+            end = start + t.tCCDl
+        else:
+            start = cycle if cycle > next_col else next_col
+            end = start + 1
+            stats.rf_only_ops += 1
+        pim_exec.next_col = end
+        pim_exec.busy_until = end
+        stats.ops_executed += 1
+        stats.busy_cycles += end - cycle
+        intervals = pim_exec.busy_intervals
+        if intervals and start <= intervals[-1][1]:
+            if end > intervals[-1][1]:
+                intervals[-1] = (intervals[-1][0], end)
+        else:
+            intervals.append((start, end))
+        if pim_exec.functional:
+            pim_exec._execute_functional(head)
+        head.cycle_issued = cycle
+        pim_exec._in_flight.append((end, head))
+        if end < self._comp_next[ch]:
+            self._comp_next[ch] = end
+        c.stats.pim_issued += 1
+        # Post-issue wake: the object re-ticks at cycle+1, but the only
+        # decision it could take before ``end`` is the older-MEM switch for
+        # the *new* head — and that condition is static until an enqueue
+        # (dirty) or our own issue.  Evaluate it now: if it can't fire,
+        # park straight at the busy window's end.
+        if pim_queue:
+            nxt = pim_queue[0]
+            if (
+                mem_head is not None
+                and mem_head.mc_seq < nxt.mc_seq
+                and pim_exec.would_switch_row(nxt)
+            ):
+                c._next_wake = cycle + 1
+                c._dirty = True
+            else:
+                c._next_wake = end
+        else:
+            c._next_wake = cycle + 1
+            c._dirty = True
+        return head
+
+    def _fused_switch(self, c: MemoryController, target: Mode, cycle: int):
+        c._begin_switch(target, cycle)
+        c._next_wake = max(cycle + 1, c._drain_complete_cycle())
+        c._dirty = True
+        return None
+
+    # -- quiescence / fast-forward ----------------------------------------
+    #
+    # The array scheduler parks controllers outside the active set and the
+    # wake heap, so the engine's quiescence contract must fold the array
+    # in: a controller due at or before the current cycle blocks the skip
+    # (it would act this step — the exact cases the object discipline kept
+    # in the active set), and one parked further out bounds the jump the
+    # same way a wake-heap entry would.
+
+    def _quiescent(self) -> bool:
+        if self._backlog or self._mc_active or self._sm_active:
+            return False
+        if (
+            self._all_fused
+            and self.telemetry is None
+            and self._ctl_min <= self.cycle
+        ):
+            return False
+        return self.mesh is None or not self.mesh.occupancy
+
+    def _fast_forward_clock(self, limit: int) -> None:
+        if self._all_fused and self.telemetry is None and self._ctl_min < limit:
+            limit = self._ctl_min
+        super()._fast_forward_clock(limit)
+
+    def enable_telemetry(self, *args, **kwargs):
+        telemetry = super().enable_telemetry(*args, **kwargs)
+        if self._all_fused:
+            # Telemetry routes the controllers stage to the object
+            # implementation, which never reads the wake array: migrate
+            # array-parked controllers into the active set so the object
+            # discipline re-parks them on the wake heap.
+            for ch in range(len(self.controllers)):
+                self._mc_active.add(ch)
+        return telemetry
+
+    # -- MC ingress --------------------------------------------------------
+
+    def _stage_mc_ingress(self) -> None:
+        if not self._vc1:
+            super()._stage_mc_ingress()
+            return
+        active = self._ingress_active
+        if not active:
+            return
+        cycle = self.cycle
+        dram_q0 = self._dram_q0
+        controllers = self.controllers
+        # Under the all-fused array scheduler the enqueue itself signals
+        # the wake array; only the object disciplines need the active set.
+        track_active = self.telemetry is not None or not self._all_fused
+        for ch in active.snapshot():
+            items = dram_q0[ch]._items
+            if not items:
+                continue
+            head = items[0]
+            controller = controllers[ch]
+            if head.is_pim:
+                if len(controller.pim_queue) >= controller.pim_queue_size:
+                    continue
+            elif controller.mem_queue._live >= controller.mem_queue_size:
+                continue
+            # Inlined BoundedQueue.pop + the engine's on_pop watch hook.
+            items.popleft()
+            self._backlog -= 1
+            if not items:
+                active.discard(ch)
+            controller.enqueue(head, cycle)
+            if track_active and controller._dirty:
+                # A retracted (inert) wake leaves the controller parked on
+                # the wake heap or already in the active set.
+                self._mc_active.add(ch)
+
+    # -- L2 ----------------------------------------------------------------
+
+    def _stage_l2(self) -> None:
+        if not self._vc1 or self.telemetry is not None:
+            super()._stage_l2()
+            return
+        active = self._l2_active
+        if not active:
+            return
+        cycle = self.cycle
+        l2_latency = self.config.l2_latency
+        in_q0 = self._in_q0
+        dram_q0 = self._dram_q0
+        l2_slices = self.l2_slices
+        ingress = self._ingress_active
+        hit, blocked, secondary = (
+            LookupResult.HIT,
+            LookupResult.BLOCKED,
+            LookupResult.MISS_SECONDARY,
+        )
+        for ch in active.snapshot():
+            queue = in_q0[ch]
+            items = queue._items
+            if not items:
+                continue
+            head = items[0]
+            dram_queue = dram_q0[ch]
+            dram_items = dram_queue._items
+            # Single VC: PIM forward and MEM miss share one L2->DRAM queue.
+            if len(dram_items) >= dram_queue.capacity:
+                continue
+            forward = True
+            if not head.is_pim:
+                outcome = l2_slices[ch].lookup(head)
+                if outcome == blocked:
+                    continue  # MSHRs full: head stays put
+                if outcome == hit:
+                    forward = False
+                    if head.is_load:
+                        self._schedule_reply(head, cycle + l2_latency)
+                    else:
+                        self._finish_request(head)
+                elif outcome == secondary:
+                    forward = False  # merged; replied when the fill returns
+            # Inlined pop (+ on_pop hook) from the interconnect->L2 queue.
+            items.popleft()
+            self._backlog -= 1
+            if not items:
+                active.discard(ch)
+            if forward:  # inlined try_push (+ on_push hook) into L2->DRAM
+                dram_items.append(head)
+                dram_queue.pushes += 1
+                occupancy = len(dram_items)
+                if occupancy > dram_queue.peak_occupancy:
+                    dram_queue.peak_occupancy = occupancy
+                self._backlog += 1
+                ingress.add(ch)
+
+    # -- crossbar ----------------------------------------------------------
+
+    def _stage_crossbar(self) -> None:
+        if self.mesh is not None or not self._vc1:
+            super()._stage_crossbar()
+            return
+        active = self._xbar_active
+        if not active:
+            return
+        # Single-VC iSlip: each input offers exactly one head to one
+        # output, so every grant is accepted and the request/grant/accept
+        # phases collapse into one pass.  can_push is evaluated against
+        # pre-transfer occupancy for every proposal, as in the object
+        # arbiter (at most one push per output per cycle, so a proposal
+        # admitted here cannot overflow).
+        xbar = self.crossbar
+        sm_q0 = self._sm_q0
+        in_q0 = self._in_q0
+        proposals = {}
+        for i in active.snapshot():
+            items = sm_q0[i]._items
+            if not items:
+                continue
+            head = items[0]
+            out = head.channel
+            out_queue = in_q0[out]
+            if len(out_queue._items) >= out_queue.capacity:
+                continue
+            entry = proposals.get(out)
+            if entry is None:
+                proposals[out] = [(i, head)]
+            else:
+                entry.append((i, head))
+        if not proposals:
+            return
+        grant_ptr = xbar._grant_ptr
+        num_inputs = xbar.num_inputs
+        l2_active = self._l2_active
+        for out, requesters in proposals.items():
+            pointer = grant_ptr[out]
+            chosen, head = requesters[0]
+            if len(requesters) > 1:
+                best = (chosen - pointer) % num_inputs
+                for i, candidate in requesters[1:]:
+                    distance = (i - pointer) % num_inputs
+                    if distance < best:
+                        best = distance
+                        chosen, head = i, candidate
+            # Inlined pop (+ on_pop) from the SM buffer ...
+            in_items = sm_q0[chosen]._items
+            in_items.popleft()
+            self._backlog -= 1
+            if not in_items:
+                active.discard(chosen)
+            # ... and try_push (+ on_push) into the interconnect->L2 queue.
+            out_queue = in_q0[out]
+            out_items = out_queue._items
+            out_items.append(head)
+            out_queue.pushes += 1
+            occupancy = len(out_items)
+            if occupancy > out_queue.peak_occupancy:
+                out_queue.peak_occupancy = occupancy
+            self._backlog += 1
+            l2_active.add(out)
+            grant_ptr[out] = (chosen + 1) % num_inputs
+            xbar.transfers += 1
+
+    # -- SMs ---------------------------------------------------------------
+
+    def _stage_sms(self) -> None:
+        if not self._vc1:
+            super()._stage_sms()
+            return
+        active = self._sm_active
+        if not active:
+            return
+        cycle = self.cycle
+        sms = self.sms
+        wake_heap = self._wake_heap
+        for i in active.snapshot():
+            sm = sms[i]
+            if sm.instance is None:
+                active.discard(i)
+                continue
+            before = sm.requests_injected
+            # L1-enabled SMs keep the object step (local reply heap, hit
+            # path); the common no-L1 configuration takes the fused step.
+            issued = (
+                sm.step(cycle)
+                if sm.l1 is not None
+                else self._fused_sm_step(sm, self._sm_q0[i], cycle)
+            )
+            if issued:
+                sm.requests_injected = before + issued
+                kernel_id = sm.instance.kernel_id
+                self._injected[kernel_id] += issued
+                self._kernel_inflight[kernel_id] += issued
+            if sm._dirty:
+                continue
+            # No L1 means no local-reply heap: _next_wake is the whole
+            # next_event_cycle contract.
+            wake = sm._next_wake if sm.l1 is None else sm.next_event_cycle()
+            if wake <= cycle + 1:
+                continue
+            active.discard(i)
+            heapq.heappush(wake_heap, (wake, 1, i))
+
+    def _fused_sm_step(self, sm, out_queue, cycle: int) -> int:
+        """``SM.step`` without an L1: no local replies, every issue pushes."""
+        if not sm._dirty and cycle < sm._next_wake:
+            return 0
+        sm._dirty = False
+        due = sm._due
+        if due and due[0][0] <= cycle:
+            self._fused_advance_due(sm, cycle)
+        issuable = sm._issuable
+        if not issuable:
+            sm._next_wake = due[0][0] if due else cycle + 1_000_000
+            return 0
+        items = out_queue._items
+        capacity = out_queue.capacity
+        if len(items) >= capacity:
+            # Full output queue: with no L1, every candidate fails the push
+            # check and the scan is a no-op — skip it.  Issuable non-empty
+            # means retry next cycle, exactly the object wake rule.
+            sm._next_wake = cycle + 1
+            return 0
+        issued = 0
+        slots = 0
+        warps = sm.warps
+        num_warps = len(warps)
+        issue_width = sm.issue_width
+        max_outstanding = sm.max_outstanding
+        sm_index = sm.index
+        base = sm._issue_rotation
+        order = sorted(issuable)
+        if base:
+            split = bisect_left(order, base)
+            order = order[split:] + order[:split]
+        xbar_active = self._xbar_active
+        xbar_members = xbar_active._members
+        for warp_index in order:
+            if slots >= issue_width:
+                break
+            if len(items) >= capacity:
+                break  # queue filled mid-scan: nothing else can issue
+            warp = warps[warp_index]
+            request = warp.pending[0]
+            if request.is_load and sm.outstanding_loads >= max_outstanding:
+                continue
+            warp.pending.popleft()
+            if request.cycle_created < 0:
+                request.cycle_created = cycle
+            request.source = sm_index
+            request.warp = warp_index
+            request.cycle_noc_entry = cycle
+            # Inlined try_push (+ on_push hook) into the SM output buffer.
+            items.append(request)
+            out_queue.pushes += 1
+            occupancy = len(items)
+            if occupancy > out_queue.peak_occupancy:
+                out_queue.peak_occupancy = occupancy
+            self._backlog += 1
+            if sm_index not in xbar_members:
+                xbar_active.add(sm_index)
+            if request.is_load:
+                sm.outstanding_loads += 1
+                if warp.wait_for_replies:
+                    warp.waiting_replies += 1
+            issued += 1
+            slots += 1
+            sm._issue_rotation = (warp_index + 1) % num_warps
+            if not warp.pending:
+                issuable.remove(warp_index)
+                if not (warp.wait_for_replies and warp.waiting_replies > 0):
+                    heapq.heappush(
+                        due,
+                        (
+                            warp.compute_until if warp.compute_until > cycle else cycle + 1,
+                            warp_index,
+                        ),
+                    )
+        if slots:
+            sm._next_wake = cycle + 1
+        else:
+            # Nothing issued this step.  If issuable warps remain, every
+            # one was a load blocked on the outstanding limit (a store or
+            # a fitting load would have issued — the output queue had
+            # space, so the scan ran to completion).  Only a reply
+            # (``receive_reply`` marks the SM dirty) or a due event can
+            # unblock either case: park at the due head instead of the
+            # object's retry-every-cycle rescan.
+            sm._next_wake = due[0][0] if due else cycle + 1_000_000
+        return issued
+
+    def _fused_advance_due(self, sm, cycle: int) -> None:
+        """``SM._advance_due_warps`` with batched readiness classification.
+
+        All due entries are popped up front (processing only ever pushes
+        entries beyond ``cycle``, so the pop sequence matches the object
+        loop).  Entries whose warp is immediately issuable — not done,
+        pending requests, compute window elapsed — resolve to an
+        idempotent ``issuable.add`` with no state change, so they can be
+        classified in bulk and in any order; the rest run the exact
+        scalar logic in pop order.
+        """
+        due = sm._due
+        if not due or due[0][0] > cycle:
+            return
+        warps = sm.warps
+        issuable = sm._issuable
+        popped = []
+        while due and due[0][0] <= cycle:
+            popped.append(heapq.heappop(due)[1])
+        if len(popped) >= _WARP_BATCH_MIN:
+            count = len(popped)
+            done = np.fromiter((warps[w].done for w in popped), dtype=bool, count=count)
+            pending = np.fromiter(
+                (len(warps[w].pending) for w in popped), dtype=np.int64, count=count
+            )
+            compute_until = np.fromiter(
+                (warps[w].compute_until for w in popped), dtype=np.int64, count=count
+            )
+            ready = warp_ready_batch(done, pending, compute_until, cycle)
+            if ready.all():
+                issuable.update(popped)
+                return
+            rest = []
+            for index, warp_index in enumerate(popped):
+                if ready[index]:
+                    issuable.add(warp_index)
+                else:
+                    rest.append(warp_index)
+            popped = rest
+        for warp_index in popped:
+            warp = warps[warp_index]
+            if warp.done:
+                continue
+            if warp.pending:
+                if cycle >= warp.compute_until:
+                    issuable.add(warp_index)
+                else:
+                    heapq.heappush(due, (warp.compute_until, warp_index))
+                continue
+            if warp.wait_for_replies and warp.waiting_replies > 0:
+                continue  # receive_reply re-arms the warp
+            if cycle < warp.compute_until:
+                heapq.heappush(due, (warp.compute_until, warp_index))
+                continue
+            phase = next(warp.program, None)
+            if phase is None:
+                warp.done = True
+                sm._live_warps -= 1
+                continue
+            warp.compute_until = cycle + phase.compute_cycles
+            warp.wait_for_replies = phase.wait_for_replies
+            warp.pending.extend(phase.requests)
+            if warp.pending:
+                if cycle >= warp.compute_until:
+                    issuable.add(warp_index)
+                else:
+                    heapq.heappush(due, (warp.compute_until, warp_index))
+            else:
+                heapq.heappush(
+                    due,
+                    (
+                        warp.compute_until if warp.compute_until > cycle else cycle + 1,
+                        warp_index,
+                    ),
+                )

@@ -149,8 +149,20 @@ class Runner:
         perf_counters: bool = False,
         store=None,
         watchdog_window: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         self.scale = scale
+        #: Engine backend for every system this runner builds ("object" |
+        #: "soa"); None defers to REPRO_ENGINE / the object default at
+        #: build time.  Validated eagerly so a typo fails at construction
+        #: with the offending value and the valid choices.
+        from repro.engine_soa import resolve_backend
+
+        self.backend = (
+            resolve_backend(backend, source="Runner backend")
+            if backend is not None
+            else None
+        )
         #: With a window set, every system this runner builds gets a
         #: no-progress watchdog: a livelocked cell raises a structured
         #: SimulationStalled (quarantined by the sweep supervisor) instead
@@ -191,8 +203,14 @@ class Runner:
                 json.dump(self._duration_cache, fh)
 
     def _build_system(self, config: SystemConfig, policy: PolicySpec) -> GPUSystem:
-        system = GPUSystem(
-            config, policy, seed=self.scale.seed, scale=self.scale.workload_scale
+        from repro.engine_soa import create_system
+
+        system = create_system(
+            config,
+            policy,
+            backend=self.backend,
+            seed=self.scale.seed,
+            scale=self.scale.workload_scale,
         )
         if self.perf is not None:
             system.perf = self.perf

@@ -34,6 +34,7 @@ from typing import Dict, Optional
 
 from repro.config import SystemConfig
 from repro.core.policies import PolicySpec
+from repro.engine_soa import DEFAULT_BACKEND, create_system, resolve_backend
 from repro.request import reset_request_ids
 from repro.sim.system import GPUSystem
 from repro.workloads import get_gpu_kernel, get_pim_kernel
@@ -121,19 +122,23 @@ def build_scenario_system(
     seed: int = 1,
     fast_forward: bool = True,
     policy: Optional[PolicySpec] = None,
+    backend: Optional[str] = None,
 ) -> GPUSystem:
     """Build the system for a scenario (``policy`` overrides the default).
 
     Shared by the benchmark harness and ``repro trace``; resets the global
     request-id counter so repeated builds are bit-reproducible.
+    ``backend`` selects the engine (object reference or SoA vectorized);
+    ``None`` defers to ``REPRO_ENGINE`` / the object default.
     """
     reset_request_ids()
     config = SystemConfig.scaled(num_channels=channels, num_sms=sms)
     if scenario.num_vcs != config.num_virtual_channels:
         config = config.replace(num_virtual_channels=scenario.num_vcs)
-    system = GPUSystem(
+    system = create_system(
         config,
         policy if policy is not None else PolicySpec(scenario.policy),
+        backend=backend,
         seed=seed,
         scale=scale,
         fast_forward=fast_forward,
@@ -157,9 +162,10 @@ def _build_system(
     scale: float,
     seed: int,
     fast_forward: bool,
+    backend: Optional[str] = None,
 ) -> GPUSystem:
     return build_scenario_system(
-        scenario, channels, sms, scale, seed, fast_forward=fast_forward
+        scenario, channels, sms, scale, seed, fast_forward=fast_forward, backend=backend
     )
 
 
@@ -184,6 +190,8 @@ def run_engine_bench(
     seed: int = 1,
     compare_naive: bool = False,
     stage_breakdown: bool = True,
+    backend: str = DEFAULT_BACKEND,
+    compare_soa: bool = False,
 ) -> Dict:
     """Run the engine benchmark and return the BENCH_engine.json payload.
 
@@ -192,18 +200,45 @@ def run_engine_bench(
     event-driven engine over the cycle-by-cycle loop.  The two runs are
     asserted to produce the same simulated cycle count — a cheap guard on
     top of the bit-exact equivalence suite in ``tests/test_fast_forward.py``.
+
+    ``backend`` selects the engine for the timed runs; ``compare_soa``
+    (object backend only) additionally times the SoA engine per scenario
+    and records it under the ``"soa"`` key with its speedup over the
+    object run — this is the baseline ``check_perf_regression --check
+    soa`` guards.  Both engines must simulate the same cycle count.
     """
+    backend = resolve_backend(backend)
     names = scenario_names or list(SCENARIOS)
     payload: Dict = {
         "benchmark": "engine_throughput",
+        "backend": backend,
         "config": {"channels": channels, "sms": sms, "scale": scale, "seed": seed},
         "scenarios": {},
     }
     for name in names:
         scenario = SCENARIOS[name]
-        system = _build_system(scenario, channels, sms, scale, seed, fast_forward=True)
+        system = _build_system(
+            scenario, channels, sms, scale, seed, fast_forward=True, backend=backend
+        )
         fast = _timed_run(system, scenario.max_cycles)
         entry: Dict = {"description": scenario.description, "fast": fast}
+
+        if compare_soa and backend == "object":
+            soa_system = _build_system(
+                scenario, channels, sms, scale, seed, fast_forward=True, backend="soa"
+            )
+            soa = _timed_run(soa_system, scenario.max_cycles)
+            if soa["cycles"] != fast["cycles"]:  # pragma: no cover - guard
+                raise AssertionError(
+                    f"{name}: object run simulated {fast['cycles']} cycles, "
+                    f"SoA run {soa['cycles']}"
+                )
+            entry["soa"] = soa
+            entry["soa"]["speedup_vs_object"] = (
+                round(fast["wall_seconds"] / soa["wall_seconds"], 2)
+                if soa["wall_seconds"]
+                else 0.0
+            )
 
         if compare_naive:
             naive_system = _build_system(
@@ -224,7 +259,7 @@ def run_engine_bench(
 
         if stage_breakdown:
             instrumented = _build_system(
-                scenario, channels, sms, scale, seed, fast_forward=True
+                scenario, channels, sms, scale, seed, fast_forward=True, backend=backend
             )
             counters = instrumented.enable_perf_counters()
             instrumented.run(

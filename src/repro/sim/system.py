@@ -286,6 +286,15 @@ class GPUSystem:
         self._awaiting_first += 1
         return run
 
+    def _create_instance(self, run: KernelRun, ctx: LaunchContext) -> KernelInstance:
+        """Materialize the kernel instance for a (re-)launch.
+
+        Subclasses may substitute an instance with identical semantics
+        (the SoA backend wraps warp programs in a record/replay cache for
+        looping kernels).
+        """
+        return KernelInstance(run.spec, ctx, run.kernel_id, seed=self.seed)
+
     def _launch(self, run: KernelRun) -> None:
         ctx = LaunchContext(
             mapper=self.mapper,
@@ -298,7 +307,7 @@ class GPUSystem:
             rf_entries_per_bank=self.config.rf_entries_per_bank,
             kernel_id=run.kernel_id,
         )
-        run.instance = KernelInstance(run.spec, ctx, run.kernel_id, seed=self.seed)
+        run.instance = self._create_instance(run, ctx)
         for slot, sm_index in enumerate(run.sm_indices):
             self.sms[sm_index].attach(run.instance, slot, self.cycle)
         self._sm_active.update(run.sm_indices)
