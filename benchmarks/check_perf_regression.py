@@ -36,6 +36,12 @@ the committed baseline in ``benchmarks/results/BENCH_engine.json``:
   written by ``repro bench --compare-soa``).  This is the guard the
   ISSUE's vectorized core ships with: a change that quietly drops a
   fused path back to the object implementation shows up as a 40%+ hit.
+* ``--check slots`` is a free (no measurement) structural guard: every
+  hot-path record class must be ``__slots__``-only — an instance
+  ``__dict__`` sneaking back in (a new attribute added outside
+  ``__slots__``, a refactor dropping the declaration) costs ~60 bytes
+  and a dict allocation per object on paths that create hundreds of
+  thousands of them per run.
 * ``--check all`` runs every gate on a single set of measurements.
 
 Usage::
@@ -64,6 +70,30 @@ BASELINE_PATH = Path(__file__).parent / "results" / "BENCH_engine.json"
 REPEATS = 3  # best-of-N: the guard asks "can it still go fast", not "mean"
 
 
+def check_slots() -> bool:
+    """Every hot-path record class must be ``__slots__``-only."""
+    from repro.cache.l2 import LookupResult
+    from repro.engine_soa.handles import RequestArrays
+    from repro.engine_soa.ring import HandleRing
+    from repro.noc.queues import BoundedQueue
+    from repro.request import Request
+
+    ok = True
+    for cls in (Request, BoundedQueue, LookupResult, HandleRing, RequestArrays):
+        # A class (or any non-object base) without __slots__ carries a
+        # '__dict__' descriptor in its class dict.
+        has_dict = any(
+            "__dict__" in vars(base) for base in cls.__mro__ if base is not object
+        )
+        print(
+            f"{'FAIL' if has_dict else 'PASS'} [slots]: "
+            f"{cls.__module__}.{cls.__name__} "
+            f"{'has an instance __dict__' if has_dict else 'is __slots__-only'}"
+        )
+        ok = ok and not has_dict
+    return ok
+
+
 def measure_best(repeats: int = REPEATS, backend: str = "object") -> float:
     best = 0.0
     for _ in range(repeats):
@@ -81,7 +111,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check",
-        choices=["scheduler", "telemetry", "store", "resilience", "soa", "all"],
+        choices=["scheduler", "telemetry", "store", "resilience", "soa", "slots", "all"],
         default="scheduler",
         help="which throughput floor(s) to enforce",
     )
@@ -98,6 +128,12 @@ def main(argv=None) -> int:
     }
     selected = list(thresholds) if args.check == "all" else [args.check]
     failed = False
+
+    if args.check in ("slots", "all"):
+        failed = failed or not check_slots()
+        if args.check == "slots":
+            return 1 if failed else 0
+        selected = [c for c in selected if c != "slots"]
 
     if "soa" in selected or args.check == "all":
         try:

@@ -38,14 +38,18 @@ def test_engine_throughput(benchmark, results_dir):
     assert horizon["fast"]["cycles"] == horizon["naive"]["cycles"]
 
     # The fixed-window co-run has a long quiescent tail: most of the
-    # window must be jumped, not stepped.
-    assert horizon["fast"]["cycles_skipped"] > horizon["fast"]["cycles"] // 2
+    # window must be jumped, not stepped.  steps_executed/cycles_skipped
+    # are engine bookkeeping, reported per backend under engine_meta
+    # (the backends legitimately disagree on them).
+    meta = horizon["engine_meta"]["object"]
+    assert meta["cycles_skipped"] > horizon["fast"]["cycles"] // 2
+    assert set(horizon["engine_meta"]) == {"object", "soa"}
 
     # The saturated co-runs never quiesce for long — (almost) nothing to
     # skip.  saturated_corun re-launches both kernels, so a handful of
     # single-cycle jumps can occur around launch boundaries.
-    assert saturated["fast"]["cycles_skipped"] == 0
-    assert scheduler_bound["fast"]["cycles_skipped"] < 100
+    assert saturated["engine_meta"]["object"]["cycles_skipped"] == 0
+    assert scheduler_bound["engine_meta"]["object"]["cycles_skipped"] < 100
 
     # Per-stage breakdown covers the whole pipeline.
     assert set(saturated["stages"]) == {

@@ -54,6 +54,8 @@ class L2Stats:
 class LookupResult:
     """Outcome of presenting one request to the slice."""
 
+    __slots__ = ()
+
     HIT = "hit"
     MISS_PRIMARY = "miss_primary"
     MISS_SECONDARY = "miss_secondary"
@@ -108,37 +110,44 @@ class L2Slice:
         """
         if request.is_pim:
             raise ValueError("PIM requests bypass the L2")
-        line = self.line_of(request.address)
+        line = request.address // self.line_bytes
         request.l2_line = line
-        tag_set = self._set_of(line)
-        self._note_access(request)
+        tag_set = self._sets[line % self.num_sets]
+        stats = self.stats
+        kid = request.kernel_id
+        accesses = stats.kernel_accesses
+        accesses[kid] = accesses.get(kid, 0) + 1
 
-        if request.type is RequestType.MEM_STORE:
+        if not request.is_load:  # store (PIM rejected above)
             if line in tag_set:
                 tag_set.move_to_end(line)
                 tag_set[line] = True  # now dirty
-                self.stats.store_hits += 1
-                self._note_hit(request)
+                stats.store_hits += 1
+                hits = stats.kernel_hits
+                hits[kid] = hits.get(kid, 0) + 1
                 return LookupResult.HIT
-            self.stats.store_misses += 1
+            stats.store_misses += 1
             return LookupResult.STORE_FORWARD
 
         # Loads.
         if line in tag_set:
             tag_set.move_to_end(line)
-            self.stats.load_hits += 1
-            self._note_hit(request)
+            stats.load_hits += 1
+            hits = stats.kernel_hits
+            hits[kid] = hits.get(kid, 0) + 1
             return LookupResult.HIT
         if self.mshrs.has(line):
             self.mshrs.merge(line, request)
-            self.stats.load_merges += 1
-            self._note_hit(request)  # filtered from DRAM's perspective
+            stats.load_merges += 1
+            # Filtered from DRAM's perspective: counts as a hit.
+            hits = stats.kernel_hits
+            hits[kid] = hits.get(kid, 0) + 1
             return LookupResult.MISS_SECONDARY
         if not self.mshrs.allocate(line, request):
-            self.stats.stalls += 1
+            stats.stalls += 1
             return LookupResult.BLOCKED
         request.is_l2_fill = True
-        self.stats.load_misses += 1
+        stats.load_misses += 1
         return LookupResult.MISS_PRIMARY
 
     def install(self, fill: Request) -> Tuple[List[Request], Optional[Request]]:

@@ -182,7 +182,7 @@ def cmd_bench(args) -> int:
     import json
 
     from repro.engine_soa import backend_from_env, resolve_backend
-    from repro.perf import SCENARIOS, run_engine_bench
+    from repro.perf import SCENARIOS, resolve_scenario, run_engine_bench
 
     try:
         backend = (
@@ -190,10 +190,15 @@ def cmd_bench(args) -> int:
             if args.backend is not None
             else backend_from_env()
         )
+        names = list(args.scenarios or [])
+        for name in args.scenario or []:
+            resolve_scenario(name, source="--scenario value")
+            if name not in names:
+                names.append(name)
     except ValueError as exc:
         raise SystemExit(str(exc))
     payload = run_engine_bench(
-        scenario_names=args.scenarios or list(SCENARIOS),
+        scenario_names=names or list(SCENARIOS),
         channels=args.channels,
         sms=args.sms,
         scale=args.scale,
@@ -519,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         choices=sorted(BENCH_SCENARIOS),
         help="scenarios to run (default: all)",
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run a single scenario (repeatable; combines with --scenarios)",
     )
     bench.add_argument("--sms", type=int, default=10, help="number of SMs")
     bench.add_argument(

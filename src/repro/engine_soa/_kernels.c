@@ -1,0 +1,129 @@
+/* Compiled hot-loop kernels for the SoA engine.
+ *
+ * Built on demand by ``repro.engine_soa.kernels`` with the system C
+ * compiler (``gcc -O2 -shared -fPIC``) and loaded through ctypes; the
+ * pure-Python/numpy fallbacks in ``system.py`` remain the reference
+ * semantics, and every function here must reproduce them bit-exactly
+ * (including argmin tie-breaking: first index wins).
+ *
+ * All array arguments are raw pointers into the engine's persistent
+ * ``BankArrays`` numpy buffers (int64 rows, uint8 bool rows), passed
+ * once per call via a per-channel pointer table built at init — no
+ * per-cycle marshalling.
+ */
+
+#include <stdint.h>
+
+/* Must match repro.engine_soa.arrays (checked at load time). */
+#define NOSEQ (((int64_t)1) << 62)
+#define HIT_BIAS (((int64_t)1) << 61)
+
+/* Outcome codes (out[2]). */
+#define DECIDE_PARK 0       /* out[3] = wake cycle (NOSEQ: nothing can) */
+#define DECIDE_ISSUE_HIT 1  /* out[3] = bank (row hit: use row_head)     */
+#define DECIDE_ISSUE 2      /* out[3] = bank (oldest: use bank_head)     */
+#define DECIDE_SWITCH 3     /* every working bank stalled: switch to PIM */
+
+/* ptrs: per-channel row pointers, in this order:
+ *   [0] score      (int64)   [1] accept_at (int64)
+ *   [2] bank_live  (int64)   [3] open_row  (int64)
+ *   [4] hit_seq    (int64)   [5] conflict  (uint8)
+ *   [6] issued     (uint8)
+ * out: [0] has_conflict' [1] has_issued' [2] code [3] value
+ */
+long frfcfs_decide(const int64_t *ptrs, int64_t nbanks, int64_t cycle,
+                   int64_t pim_older, int64_t has_conflict,
+                   int64_t has_issued, int64_t *out) {
+    int64_t *score = (int64_t *)ptrs[0];
+    int64_t *accept_at = (int64_t *)ptrs[1];
+    int64_t *bank_live = (int64_t *)ptrs[2];
+    int64_t *open_row = (int64_t *)ptrs[3];
+    int64_t *hit_seq = (int64_t *)ptrs[4];
+    uint8_t *conflict = (uint8_t *)ptrs[5];
+    uint8_t *issued = (uint8_t *)ptrs[6];
+    int64_t b, best, bank, wake;
+    int conflict_mask = 0;
+
+    if (pim_older) {
+        /* Mark newly-stalled banks: pending work, issued since the
+         * switch, open row with no pending hit. */
+        for (b = 0; b < nbanks; b++) {
+            if (bank_live[b] > 0 && issued[b] && !conflict[b] &&
+                open_row[b] >= 0 && hit_seq[b] == NOSEQ) {
+                conflict[b] = 1;
+                has_conflict = 1;
+            }
+        }
+        if (has_conflict) {
+            int any_working = 0;
+            for (b = 0; b < nbanks; b++) {
+                if (bank_live[b] > 0 && !conflict[b]) {
+                    any_working = 1;
+                    break;
+                }
+            }
+            if (!any_working) {
+                out[0] = has_conflict;
+                out[1] = has_issued;
+                out[2] = DECIDE_SWITCH;
+                out[3] = 0;
+                return 0;
+            }
+            conflict_mask = 1;
+        }
+    } else {
+        /* clear_conflict_bits(): both flags, every bank. */
+        if (has_conflict) {
+            for (b = 0; b < nbanks; b++)
+                conflict[b] = 0;
+            has_conflict = 0;
+        }
+        if (has_issued) {
+            for (b = 0; b < nbanks; b++)
+                issued[b] = 0;
+            has_issued = 0;
+        }
+    }
+
+    /* Masked argmin over the combined score: hits (< HIT_BIAS) beat
+     * non-hits, older arrivals beat newer; NOSEQ means not ready.
+     * Strict < keeps the first minimal index, like numpy argmin. */
+    best = NOSEQ;
+    bank = 0;
+    for (b = 0; b < nbanks; b++) {
+        int64_t s = (accept_at[b] > cycle || (conflict_mask && conflict[b]))
+                        ? NOSEQ
+                        : score[b];
+        if (s < best) {
+            best = s;
+            bank = b;
+        }
+    }
+    out[0] = has_conflict;
+    out[1] = has_issued;
+    if (best >= NOSEQ) {
+        /* Every candidate bank has accept_at in the future: park at the
+         * earliest candidate accept (NOSEQ when no candidate exists). */
+        wake = NOSEQ;
+        for (b = 0; b < nbanks; b++) {
+            if (bank_live[b] > 0 && !(conflict_mask && conflict[b]) &&
+                accept_at[b] < wake)
+                wake = accept_at[b];
+        }
+        out[2] = DECIDE_PARK;
+        out[3] = wake;
+        return 0;
+    }
+    out[2] = best < HIT_BIAS ? DECIDE_ISSUE_HIT : DECIDE_ISSUE;
+    out[3] = bank;
+    return 0;
+}
+
+/* Sanity handshake for the loader: returns the constants this object
+ * was compiled with so Python can verify they match arrays.py. */
+long kernel_abi(int64_t *out) {
+    out[0] = NOSEQ;
+    out[1] = HIT_BIAS;
+    out[2] = 1; /* ABI version */
+    return 0;
+}

@@ -1,0 +1,131 @@
+"""Build-and-load machinery for the compiled SoA kernels.
+
+The SoA engine's remaining scalar hot loops operate on persistent typed
+buffers (the ``BankArrays`` numpy rows, the handle rings' ``array('q')``
+storage), so they can be compiled to native code without any per-cycle
+marshalling.  This module compiles ``_kernels.c`` with the system C
+compiler on first use and exposes the functions through ctypes.
+
+Everything degrades gracefully:
+
+* no compiler, a failed build, or a failed load → ``load_kernels()``
+  returns ``None`` and the engine keeps its pure-Python/numpy paths;
+* ``REPRO_SOA_COMPILED=0`` (or ``off``/``false``) skips the attempt
+  entirely — the escape hatch if a toolchain miscompiles;
+* an ABI mismatch (the shared object was built against different
+  ``NOSEQ``/``HIT_BIAS`` constants) is rejected at load time.
+
+The shared object is cached in the user's temp directory keyed by a
+hash of the C source, so repeated runs skip the compile.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_SOURCE = Path(__file__).with_name("_kernels.c")
+
+#: Set by load_kernels for diagnostics (``repro bench`` reports it).
+last_status = "not attempted"
+
+
+def compiled_enabled() -> bool:
+    """Whether the env allows the compiled kernels (default: yes)."""
+    return os.environ.get("REPRO_SOA_COMPILED", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def _cache_path(source: bytes) -> Path:
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    return Path(tempfile.gettempdir()) / f"repro_soa_kernels_{digest}.so"
+
+
+def _build(source_path: Path, out_path: Path) -> bool:
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return False
+    tmp = out_path.with_suffix(f".tmp{os.getpid()}.so")
+    cmd = [compiler, "-O2", "-shared", "-fPIC", str(source_path), "-o", str(tmp)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    if proc.returncode != 0:
+        return False
+    try:
+        os.replace(tmp, out_path)  # atomic: concurrent builders converge
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        return False
+    return True
+
+
+class SoAKernels:
+    """ctypes facade over the compiled kernel functions."""
+
+    __slots__ = ("lib", "frfcfs_decide", "path")
+
+    def __init__(self, lib: ctypes.CDLL, path: Path) -> None:
+        self.lib = lib
+        self.path = path
+        decide = lib.frfcfs_decide
+        decide.argtypes = [
+            ctypes.c_void_p,  # ptrs (per-channel pointer table row)
+            ctypes.c_longlong,  # nbanks
+            ctypes.c_longlong,  # cycle
+            ctypes.c_longlong,  # pim_older
+            ctypes.c_longlong,  # has_conflict
+            ctypes.c_longlong,  # has_issued
+            ctypes.c_void_p,  # out[4]
+        ]
+        decide.restype = ctypes.c_long
+        self.frfcfs_decide = decide
+
+
+def load_kernels() -> Optional[SoAKernels]:
+    """Compile (if needed) and load the kernels; None on any failure."""
+    global last_status
+    if not compiled_enabled():
+        last_status = "disabled (REPRO_SOA_COMPILED)"
+        return None
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        last_status = "source missing"
+        return None
+    path = _cache_path(source)
+    if not path.exists() and not _build(_SOURCE, path):
+        last_status = "build failed (no toolchain?)"
+        return None
+    try:
+        lib = ctypes.CDLL(str(path))
+    except OSError:
+        last_status = "load failed"
+        return None
+    try:
+        abi = lib.kernel_abi
+    except AttributeError:
+        last_status = "ABI symbol missing"
+        return None
+    abi.argtypes = [ctypes.c_void_p]
+    abi.restype = ctypes.c_long
+    out = (ctypes.c_longlong * 3)()
+    abi(ctypes.byref(out))
+    from repro.engine_soa.arrays import HIT_BIAS, NOSEQ
+
+    if out[0] != NOSEQ or out[1] != HIT_BIAS or out[2] != 1:
+        last_status = "ABI mismatch"
+        return None
+    last_status = f"loaded ({path.name})"
+    return SoAKernels(lib, path)

@@ -1,0 +1,129 @@
+"""Fixed-capacity integer ring buffers for the handle pipeline.
+
+The SoA engine's NoC hop queues (SM output buffers, the crossbar->L2
+input queues, the L2->DRAM ingress queues) are ``BoundedQueue``s of
+:class:`~repro.request.Request` objects in the reference engine.  Under
+the fused single-VC pipeline the requests themselves are never *read* by
+the hop stages — only a couple of routing fields (``channel``,
+``is_pim``) — so the hops can carry plain integer handles into a pooled
+:class:`~repro.engine_soa.handles.RequestArrays` instead of object
+references.  :class:`HandleRing` is the container for those handles: a
+fixed-capacity FIFO over a preallocated ``array('q')`` buffer.
+
+Semantics match ``BoundedQueue`` exactly where the fused pipeline uses
+it: FIFO order, a hard capacity that refuses pushes (the stages
+pre-check ``full``/``free`` before moving a head, so backpressure
+propagates identically), and the same ``pushes``/``peak_occupancy``
+telemetry counters.  ``head``/``tail`` are monotonically increasing
+Python ints (masked into the power-of-two buffer on access) — occupancy
+is ``tail - head`` with no wrap bookkeeping, and a ring that wrapped
+billions of times behaves identically to a fresh one.
+
+The backing buffer is a typed ``array('q')`` rather than a list so a
+compiled kernel (see ``engine_soa.kernels``) can drain hops directly
+from the ring memory via the buffer protocol; the pure-Python stages
+index it like any sequence.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List
+
+
+def _pow2_at_least(n: int) -> int:
+    size = 1
+    while size < n:
+        size <<= 1
+    return size
+
+
+class HandleRing:
+    """Fixed-capacity FIFO of integer handles.
+
+    The buffer is sized to the next power of two above ``capacity`` so
+    indexing is a single mask; the *logical* capacity (where pushes
+    start bouncing) stays exactly ``capacity`` to match the
+    ``BoundedQueue`` it replaces.
+    """
+
+    __slots__ = ("capacity", "name", "buf", "mask", "head", "tail", "pushes", "peak_occupancy")
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        size = _pow2_at_least(capacity)
+        self.buf = array("q", bytes(8 * size))
+        self.mask = size - 1
+        self.head = 0  # next slot to pop (monotonic)
+        self.tail = 0  # next slot to fill (monotonic)
+        self.pushes = 0
+        self.peak_occupancy = 0
+
+    # -- BoundedQueue-compatible surface ------------------------------------
+
+    def __len__(self) -> int:
+        return self.tail - self.head
+
+    def __bool__(self) -> bool:
+        return self.tail > self.head
+
+    @property
+    def full(self) -> bool:
+        return self.tail - self.head >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self.tail == self.head
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - (self.tail - self.head)
+
+    def push(self, handle: int) -> None:
+        """Append a handle; the caller has already checked capacity.
+
+        The fused stages only ever push after an explicit ``full`` check
+        (exactly like their inlined ``BoundedQueue`` pushes), so a full
+        ring is a programming error here, not backpressure.
+        """
+        tail = self.tail
+        occupancy = tail - self.head
+        if occupancy >= self.capacity:
+            raise OverflowError(f"ring {self.name or id(self)} is full")
+        self.buf[tail & self.mask] = handle
+        self.tail = tail + 1
+        self.pushes += 1
+        occupancy += 1
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+
+    def try_push(self, handle: int) -> bool:
+        if self.tail - self.head >= self.capacity:
+            return False
+        self.push(handle)
+        return True
+
+    def peek(self) -> int:
+        """Head handle; undefined on an empty ring (caller checks)."""
+        return self.buf[self.head & self.mask]
+
+    def pop(self) -> int:
+        head = self.head
+        if head == self.tail:
+            raise IndexError("pop from empty ring")
+        self.head = head + 1
+        return self.buf[head & self.mask]
+
+    def clear(self) -> None:
+        self.head = self.tail
+
+    def snapshot(self) -> List[int]:
+        """Handles in FIFO order (head first); for tests and migration."""
+        buf, mask = self.buf, self.mask
+        return [buf[i & mask] for i in range(self.head, self.tail)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HandleRing({self.snapshot()!r}, capacity={self.capacity})"

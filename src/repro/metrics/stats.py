@@ -37,7 +37,17 @@ def _quantile(ordered: Sequence[float], q: float) -> float:
     low = int(math.floor(position))
     high = int(math.ceil(position))
     fraction = position - low
-    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+    low_value = ordered[low]
+    high_value = ordered[high]
+    value = low_value * (1 - fraction) + high_value * fraction
+    # Clamp to the bracketing order statistics: the weighted sum can
+    # round outside [low, high] for subnormal inputs (5e-324 * 0.5
+    # underflows to 0.0), which would break quantile ordering.
+    if value < low_value:
+        return low_value
+    if value > high_value:
+        return high_value
+    return value
 
 
 def box_summary(values: Sequence[float]) -> BoxSummary:

@@ -12,6 +12,7 @@ from repro.perf.bench import (
     SCENARIOS,
     TRACE_SCENARIOS,
     build_scenario_system,
+    resolve_scenario,
     run_engine_bench,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "SCENARIOS",
     "TRACE_SCENARIOS",
     "build_scenario_system",
+    "resolve_scenario",
     "run_engine_bench",
 ]

@@ -93,6 +93,21 @@ SCENARIOS: Dict[str, BenchScenario] = {
 }
 
 
+def resolve_scenario(name: str, source: str = "scenario") -> str:
+    """Validate a benchmark scenario name.
+
+    Raises ``ValueError`` naming the offending value and the valid
+    choices (the same convention as ``resolve_backend``), with
+    ``source`` identifying where the bad value came from.
+    """
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown {source} {name!r}: valid choices are "
+            + ", ".join(sorted(SCENARIOS))
+        )
+    return name
+
+
 #: Scenarios accepted by ``repro trace``: every benchmark scenario plus a
 #: trace-friendly variant of the examples/mode_timeline.py co-run (F3FS
 #: under VC2, both kernels looping — frequent mode phases to look at).
@@ -169,17 +184,30 @@ def _build_system(
     )
 
 
-def _timed_run(system: GPUSystem, max_cycles: int) -> Dict[str, float]:
+def _timed_run(system: GPUSystem, max_cycles: int):
+    """Time a run; returns ``(timing, engine_meta)``.
+
+    ``timing`` holds the comparable numbers (simulated cycles, wall
+    seconds, throughput).  ``engine_meta`` holds ``steps_executed`` /
+    ``cycles_skipped``, which are *engine* bookkeeping, not simulation
+    output — backends legitimately disagree on them (the SoA engine's
+    parked controllers no longer block quiescence, so it fast-forwards
+    cycles the object engine steps), so they are reported separately,
+    keyed per backend.
+    """
     start = time.perf_counter()
     result = system.run(max_cycles=max_cycles, until_all_complete_once=False)
     wall = time.perf_counter() - start
-    return {
+    timing = {
         "cycles": result.cycles,
-        "steps_executed": system.steps_executed,
-        "cycles_skipped": system.cycles_skipped,
         "wall_seconds": round(wall, 4),
         "cycles_per_sec": round(result.cycles / wall, 1) if wall else 0.0,
     }
+    meta = {
+        "steps_executed": system.steps_executed,
+        "cycles_skipped": system.cycles_skipped,
+    }
+    return timing, meta
 
 
 def run_engine_bench(
@@ -206,9 +234,15 @@ def run_engine_bench(
     and records it under the ``"soa"`` key with its speedup over the
     object run — this is the baseline ``check_perf_regression --check
     soa`` guards.  Both engines must simulate the same cycle count.
+
+    ``steps_executed`` / ``cycles_skipped`` are engine bookkeeping (they
+    legitimately differ between backends) and are reported under
+    ``entry["engine_meta"][<backend>]`` rather than inside the timing
+    dicts, so the ``fast`` / ``soa`` sections only carry numbers that
+    are actually comparable.
     """
     backend = resolve_backend(backend)
-    names = scenario_names or list(SCENARIOS)
+    names = [resolve_scenario(n) for n in (scenario_names or list(SCENARIOS))]
     payload: Dict = {
         "benchmark": "engine_throughput",
         "backend": backend,
@@ -220,20 +254,25 @@ def run_engine_bench(
         system = _build_system(
             scenario, channels, sms, scale, seed, fast_forward=True, backend=backend
         )
-        fast = _timed_run(system, scenario.max_cycles)
-        entry: Dict = {"description": scenario.description, "fast": fast}
+        fast, fast_meta = _timed_run(system, scenario.max_cycles)
+        entry: Dict = {
+            "description": scenario.description,
+            "fast": fast,
+            "engine_meta": {backend: fast_meta},
+        }
 
         if compare_soa and backend == "object":
             soa_system = _build_system(
                 scenario, channels, sms, scale, seed, fast_forward=True, backend="soa"
             )
-            soa = _timed_run(soa_system, scenario.max_cycles)
+            soa, soa_meta = _timed_run(soa_system, scenario.max_cycles)
             if soa["cycles"] != fast["cycles"]:  # pragma: no cover - guard
                 raise AssertionError(
                     f"{name}: object run simulated {fast['cycles']} cycles, "
                     f"SoA run {soa['cycles']}"
                 )
             entry["soa"] = soa
+            entry["engine_meta"]["soa"] = soa_meta
             entry["soa"]["speedup_vs_object"] = (
                 round(fast["wall_seconds"] / soa["wall_seconds"], 2)
                 if soa["wall_seconds"]
@@ -244,7 +283,7 @@ def run_engine_bench(
             naive_system = _build_system(
                 scenario, channels, sms, scale, seed, fast_forward=False
             )
-            naive = _timed_run(naive_system, scenario.max_cycles)
+            naive, _ = _timed_run(naive_system, scenario.max_cycles)
             if naive["cycles"] != fast["cycles"]:  # pragma: no cover - guard
                 raise AssertionError(
                     f"{name}: fast run simulated {fast['cycles']} cycles, "

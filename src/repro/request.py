@@ -148,6 +148,23 @@ class Request:
     # repro.core.memq).
     in_mem_queue: bool = field(init=False, default=False)
 
+    # Cached ``pim_op.kind.accesses_dram`` (two attribute hops on the PIM
+    # issue path); False for MEM requests.  Filled in __post_init__.
+    pim_dram: bool = field(init=False, default=False)
+
+    # Recycling slot (SoA replay cache): ``[live_count, phase]`` shared by
+    # every request of one replayed phase.  The SoA engine returns finished
+    # requests to the slot; when the count hits zero the next launch reuses
+    # the phase's request objects instead of rebuilding them.  ``None``
+    # outside the replay path (object engine, writebacks, user traces).
+    _slot: Optional[list] = field(init=False, default=None, repr=False)
+
+    # Handle into the SoA engine's pooled RequestArrays (see
+    # repro.engine_soa.handles); -1 when not bound.  Replay-recycled
+    # requests keep their handle across launches (pinned), everything
+    # else holds one only while inside the NoC hop rings.
+    _handle: int = field(init=False, default=-1, repr=False)
+
     def __post_init__(self) -> None:
         pim = self.type is RequestType.PIM
         if pim and self.pim_op is None:
@@ -157,6 +174,8 @@ class Request:
         self.is_pim = pim
         self.is_load = self.type is RequestType.MEM_LOAD
         self.mode = Mode.PIM if pim else Mode.MEM
+        if pim:
+            self.pim_dram = self.pim_op.kind.accesses_dram
 
     @property
     def queueing_delay(self) -> int:

@@ -373,3 +373,162 @@ def test_runner_backend_validation():
     assert "'fast'" in str(err.value)
     assert "object" in str(err.value) and "soa" in str(err.value)
     assert Runner(backend="soa").backend == "soa"
+
+
+# ---------------------------------------------------------------------------
+# Handle-pipeline primitives (ring buffers + pooled request arrays)
+# ---------------------------------------------------------------------------
+#
+# The hop rings replace BoundedQueue on the fused NoC path, so each
+# primitive is pinned to the object-queue reference by property: random
+# operation sequences must produce identical contents, acceptance
+# decisions, and telemetry counters.
+
+
+def _ring_ops():
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(min_value=0, max_value=2**40)),
+            st.tuples(st.just("pop"), st.just(0)),
+        ),
+        max_size=120,
+    )
+
+
+@given(capacity=st.integers(min_value=1, max_value=9), ops=_ring_ops())
+@settings(max_examples=120, deadline=None)
+def test_handle_ring_matches_bounded_queue(capacity, ops):
+    from repro.engine_soa.ring import HandleRing
+    from repro.noc.queues import BoundedQueue
+
+    ring = HandleRing(capacity, "ring")
+    reference = BoundedQueue(capacity, "ref")
+    for op, value in ops:
+        if op == "push":
+            accepted = ring.try_push(value)
+            assert accepted == reference.try_push(value)
+        elif ring:
+            assert reference
+            assert ring.peek() == reference.peek()
+            assert ring.pop() == reference.pop()
+        else:
+            assert reference.empty
+        assert len(ring) == len(reference)
+        assert ring.full == reference.full
+        assert ring.empty == reference.empty
+        assert ring.free_space == reference.free_space
+        assert ring.snapshot() == list(reference)
+    # Telemetry counters carried by the rings match the queue's.
+    assert ring.pushes == reference.pushes
+    assert ring.peak_occupancy == reference.peak_occupancy
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    rounds=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_handle_ring_wraps_indefinitely(capacity, rounds):
+    """Monotonic head/tail: wrap-around never corrupts FIFO order."""
+    from repro.engine_soa.ring import HandleRing
+
+    ring = HandleRing(capacity, "wrap")
+    value = 0
+    for _ in range(rounds):
+        while not ring.full:
+            ring.push(value)
+            value += 1
+        expected_head = value - len(ring)
+        assert ring.peek() == expected_head
+        assert ring.pop() == expected_head
+    assert ring.snapshot() == list(range(value - len(ring), value))
+    assert ring.head + len(ring) == ring.tail
+    assert ring.pushes == value
+
+
+def test_handle_ring_push_overflow_and_clear():
+    from repro.engine_soa.ring import HandleRing
+
+    ring = HandleRing(2)
+    ring.push(7)
+    ring.push(8)
+    with pytest.raises(OverflowError):
+        ring.push(9)
+    assert not ring.try_push(9)
+    ring.clear()
+    assert ring.empty and len(ring) == 0
+    assert ring.pushes == 2  # clear drops contents, not telemetry
+
+
+def _pool_requests(addresses):
+    from repro.request import Request, RequestType
+
+    requests = []
+    for i, address in enumerate(addresses):
+        request = Request(type=RequestType.MEM_LOAD, address=address)
+        request.channel = i % 4
+        request.bank = i % 3
+        request.row = i
+        requests.append(request)
+    return requests
+
+
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=40),
+    churn=st.lists(st.integers(min_value=0, max_value=10**6), max_size=80),
+)
+@settings(max_examples=80, deadline=None)
+def test_request_arrays_recycling_under_churn(addresses, churn):
+    """Free-list recycling: live handles stay unique and column-accurate."""
+    from repro.engine_soa.handles import RequestArrays
+
+    pool = RequestArrays(initial=2)  # force growth
+    live = {}
+    requests = _pool_requests(addresses)
+    cycle = 0
+    pending = list(requests)
+    actions = list(churn)
+    while pending or live:
+        release_first = bool(actions) and actions.pop() % 2 == 0 and live
+        if release_first:
+            h, request = next(iter(live.items()))
+            del live[h]
+            pool.release(request)
+            assert request._handle == -1
+            assert pool.objs[h] is None
+        elif pending:
+            request = pending.pop()
+            cycle += 1
+            h = pool.acquire(request, cycle)
+            assert request._handle == h
+            assert h not in live
+            live[h] = request
+            assert pool.channel[h] == request.channel
+            assert pool.bank[h] == request.bank
+            assert pool.row[h] == request.row
+            assert pool.address[h] == request.address
+            assert pool.is_pim[h] == 0
+            assert pool.noc_entry[h] == cycle
+            assert pool.materialize(h) is request
+        elif live:
+            h, request = next(iter(live.items()))
+            del live[h]
+            pool.release(request)
+        assert pool.live == len(live)
+    assert pool.live == 0
+    assert len(pool._free) == pool.size
+    assert sorted(pool._free) == list(range(pool.size))
+
+
+def test_request_arrays_transfer_repoints_pinned_handle():
+    from repro.engine_soa.handles import RequestArrays
+
+    pool = RequestArrays(initial=4)
+    old, fresh = _pool_requests([0x1000, 0x1000])
+    h = pool.acquire(old, cycle=5)
+    pool.transfer(h, fresh)
+    assert fresh._handle == h
+    assert pool.materialize(h) is fresh
+    # Columns were written at acquire time and are identical by record.
+    assert pool.address[h] == 0x1000
+    assert pool.live == 1
