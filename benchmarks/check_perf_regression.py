@@ -13,10 +13,15 @@ the committed baseline in ``benchmarks/results/BENCH_engine.json``:
 * ``--check telemetry`` holds the telemetry-*disabled* run within
   ``TELEMETRY_THRESHOLD`` (2%) of the baseline, guarding the promise
   that the dormant ``repro.obs`` hooks (``if telemetry is not None``
-  along the request path) cost nothing when off.  Because 2% is inside
-  machine-to-machine noise, this gate compares best-of-N against a
-  baseline *regenerated on the same machine* (CI reruns the perf smoke
-  benchmark first, which rewrites BENCH_engine.json).
+  along the request path, and the campaign metrics/heartbeat hooks —
+  which live in the sweep coordinator, so a bench run never so much as
+  constructs a ``StatusPublisher``) cost nothing when off.  The gate
+  runs on *both* engine backends: the object run against the ``fast``
+  baseline and the SoA run against the ``soa`` baseline, each at 98%.
+  Because 2% is inside machine-to-machine noise, this gate compares
+  best-of-N against a baseline *regenerated on the same machine* (CI
+  reruns the perf smoke benchmark first, which rewrites
+  BENCH_engine.json).
 * ``--check store`` holds the same run within ``STORE_THRESHOLD`` (2%)
   of the baseline: the result-store integration (``repro.store``) lives
   entirely in the experiment layer (Runner lookups before a system is
@@ -68,6 +73,10 @@ RESILIENCE_THRESHOLD = 0.98  # dormant watchdog/fault hooks must stay within 2%
 SOA_THRESHOLD = 0.90  # the SoA engine must stay within 10% of its baseline
 BASELINE_PATH = Path(__file__).parent / "results" / "BENCH_engine.json"
 REPEATS = 3  # best-of-N: the guard asks "can it still go fast", not "mean"
+# The SoA run warms up slowly (first run in a process is ~20% down while
+# numpy internals and the optional compiled kernels settle), so its 2%
+# telemetry gate needs more attempts to reach the machine's fast band.
+SOA_REPEATS = 5
 
 
 def check_slots() -> bool:
@@ -135,28 +144,52 @@ def main(argv=None) -> int:
             return 1 if failed else 0
         selected = [c for c in selected if c != "slots"]
 
+    soa_baseline = scenario_doc.get("soa", {}).get("cycles_per_sec")
+    soa_best = None  # measured at most once, shared by the soa/telemetry gates
+
+    def need_soa_baseline(gate: str) -> bool:
+        if soa_baseline is not None:
+            return False
+        print(
+            f"FAIL [{gate}]: no '{SCENARIO}' SoA baseline in {BASELINE_PATH} "
+            "(regenerate with: repro bench --compare-soa --out "
+            f"{BASELINE_PATH})"
+        )
+        return True
+
     if "soa" in selected or args.check == "all":
-        try:
-            soa_baseline = scenario_doc["soa"]["cycles_per_sec"]
-        except KeyError:
-            print(
-                f"FAIL: no '{SCENARIO}' SoA baseline in {BASELINE_PATH} "
-                "(regenerate with: repro bench --compare-soa --out "
-                f"{BASELINE_PATH})"
-            )
+        if need_soa_baseline("soa"):
             return 1
-        soa_best = measure_best(backend="soa")
+        soa_best = measure_best(repeats=SOA_REPEATS, backend="soa")
         floor = SOA_THRESHOLD * soa_baseline
         ok = soa_best >= floor
         failed = failed or not ok
         print(
             f"{'PASS' if ok else 'FAIL'} [soa]: {SCENARIO} "
-            f"best-of-{REPEATS} {soa_best:.1f} cyc/s vs SoA baseline "
+            f"best-of-{SOA_REPEATS} {soa_best:.1f} cyc/s vs SoA baseline "
             f"{soa_baseline:.1f} (floor {floor:.1f} = {SOA_THRESHOLD:.0%})"
         )
         selected = [c for c in selected if c != "soa"]
         if not selected:
             return 1 if failed else 0
+
+    if "telemetry" in selected:
+        # The dormant-hook promise covers both backends; gate the SoA run
+        # too (reusing the soa gate's measurement under --check all).
+        if need_soa_baseline("telemetry"):
+            failed = True
+        else:
+            if soa_best is None:
+                soa_best = measure_best(repeats=SOA_REPEATS, backend="soa")
+            floor = TELEMETRY_THRESHOLD * soa_baseline
+            ok = soa_best >= floor
+            failed = failed or not ok
+            print(
+                f"{'PASS' if ok else 'FAIL'} [telemetry/soa]: {SCENARIO} "
+                f"best-of-{SOA_REPEATS} {soa_best:.1f} cyc/s vs SoA baseline "
+                f"{soa_baseline:.1f} (floor {floor:.1f} = "
+                f"{TELEMETRY_THRESHOLD:.0%})"
+            )
 
     try:
         baseline = scenario_doc["fast"]["cycles_per_sec"]

@@ -207,6 +207,7 @@ def cmd_bench(args) -> int:
         stage_breakdown=not args.no_stages,
         backend=backend,
         compare_soa=args.compare_soa,
+        stage_profile=args.stage_profile,
     )
     text = json.dumps(payload, indent=2)
     if args.out == "-":
@@ -223,6 +224,18 @@ def cmd_bench(args) -> int:
             if "soa" in entry:
                 line += f" (SoA {entry['soa']['speedup_vs_object']}x vs object)"
             print(line)
+    if args.stage_profile:
+        for name, entry in payload["scenarios"].items():
+            profile = entry["engine_meta"][backend].get("stage_profile", [])
+            if not profile:
+                continue
+            print(f"  {name} stage profile ({backend} backend):", file=sys.stderr)
+            for row in profile:
+                print(
+                    f"    {row['stage']:20s} {row['seconds']:8.4f}s "
+                    f"{row['share']:6.1%}  ({row['calls']:,} calls)",
+                    file=sys.stderr,
+                )
     return 0
 
 
@@ -230,6 +243,7 @@ def cmd_trace(args) -> int:
     import json
     from pathlib import Path
 
+    from repro.engine_soa import backend_from_env, resolve_backend
     from repro.experiments.figures import format_table
     from repro.obs.trace import validate_trace, write_stats, write_trace
     from repro.perf.bench import TRACE_SCENARIOS, build_scenario_system
@@ -237,6 +251,14 @@ def cmd_trace(args) -> int:
     from repro.core.policies import PolicySpec
 
     policy_name = _canonical_policy(args.policy)
+    try:
+        backend = (
+            resolve_backend(args.backend, source="--backend value")
+            if args.backend is not None
+            else backend_from_env()
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     scenario = TRACE_SCENARIOS[args.scenario]
     system = build_scenario_system(
         scenario,
@@ -245,6 +267,7 @@ def cmd_trace(args) -> int:
         scale=args.scale,
         seed=args.seed,
         policy=PolicySpec(policy_name) if policy_name is not None else None,
+        backend=backend,
     )
     telemetry = system.enable_telemetry(
         ring_capacity=args.ring_capacity, timeline_interval=args.interval
@@ -260,13 +283,26 @@ def cmd_trace(args) -> int:
             print(f"invalid trace: {error}", file=sys.stderr)
         return 1
     stats_path = out.with_name(out.stem + "_stats.json")
-    write_stats(result.telemetry, stats_path)
+    # The stats document carries the engine provenance next to the
+    # telemetry summary, so a trace is attributable to the backend that
+    # produced it (engine_meta mirrors BENCH_engine.json's per-backend
+    # bookkeeping keys).
+    stats = dict(result.telemetry)
+    stats["backend"] = backend
+    stats["engine_meta"] = {
+        backend: {
+            "steps_executed": system.steps_executed,
+            "cycles_skipped": system.cycles_skipped,
+        }
+    }
+    write_stats(stats, stats_path)
 
     identity = result.telemetry["hop_identity"]
     print(
         f"trace written to {out} "
         f"({len(doc['traceEvents'])} events, {result.cycles} cycles, "
-        f"{len(telemetry.events)} ring events, {telemetry.events.evicted} evicted)"
+        f"{len(telemetry.events)} ring events, {telemetry.events.evicted} evicted, "
+        f"{backend} backend)"
     )
     print(f"stats written to {stats_path}")
     print(
@@ -354,69 +390,143 @@ def cmd_sweep(args) -> int:
 
         faults = FaultPlan.from_file(args.faults)
 
-    failures = []
-    if args.merge_only:
+    server = None
+    if args.serve_status is not None:
         if args.cache_dir is None:
-            raise SystemExit("--merge-only requires --cache-dir")
-        outcomes = collect_from_store(scale, tasks, args.cache_dir)
-        hits, misses = len(outcomes), 0
-    else:
-        report = run_sweep(
-            scale,
-            tasks,
-            store_dir=args.cache_dir,
-            max_workers=args.workers,
-            shard=shard,
-            fresh=not args.resume,
-            cell_timeout=args.cell_timeout,
-            retry=retry,
-            faults=faults,
-            watchdog=args.watchdog,
-        )
-        hits, misses = report.hits, report.misses
-        failures = report.failed_outcomes
-        _announce_failures(report)
-        if shard is not None:
-            ran = report.completed
-            print(
-                f"shard {args.shard}: {ran}/{len(tasks)} cells "
-                f"({hits} cache hits, {misses} simulated"
-                + (f", {len(failures)} failed" if failures else "")
-                + ")"
-            )
-            if args.cache_dir:
-                print(
-                    "merge with: repro sweep --merge-only --cache-dir "
-                    f"{args.cache_dir} (same grid/scale args)"
-                )
-            if failures and args.strict:
-                return 2
-            return 1 if (args.fail_on_miss and misses) else 0
-        outcomes = report.completed_outcomes()
+            raise SystemExit("--serve-status requires --cache-dir")
+        from repro.obs.metrics import get_registry
+        from repro.obs.server import StatusServer
 
-    rows = sweep_rows(outcomes)
-    if rows:
-        table = format_table(rows, list(rows[0]))
-        if args.out == "-":
-            print(table)
+        server = StatusServer(
+            args.cache_dir, port=args.serve_status, registry=get_registry()
+        )
+        print(
+            f"status endpoint: {server.url}/status "
+            "(also /metrics and /journal)",
+            file=sys.stderr,
+        )
+    try:
+        failures = []
+        if args.merge_only:
+            if args.cache_dir is None:
+                raise SystemExit("--merge-only requires --cache-dir")
+            outcomes = collect_from_store(scale, tasks, args.cache_dir)
+            hits, misses = len(outcomes), 0
         else:
-            with open(args.out, "w") as fh:
-                fh.write(table + "\n")
-            print(f"table written to {args.out}")
-    else:
-        print("no cells completed", file=sys.stderr)
-    print(
-        f"cells: {len(rows)} ({hits} cache hits, {misses} simulated"
-        + (f", {len(failures)} failed" if failures else "")
-        + ")"
+            report = run_sweep(
+                scale,
+                tasks,
+                store_dir=args.cache_dir,
+                max_workers=args.workers,
+                shard=shard,
+                fresh=not args.resume,
+                cell_timeout=args.cell_timeout,
+                retry=retry,
+                faults=faults,
+                watchdog=args.watchdog,
+            )
+            hits, misses = report.hits, report.misses
+            failures = report.failed_outcomes
+            _announce_failures(report)
+            if shard is not None:
+                ran = report.completed
+                print(
+                    f"shard {args.shard}: {ran}/{len(tasks)} cells "
+                    f"({hits} cache hits, {misses} simulated"
+                    + (f", {len(failures)} failed" if failures else "")
+                    + ")"
+                )
+                if args.cache_dir:
+                    print(
+                        "merge with: repro sweep --merge-only --cache-dir "
+                        f"{args.cache_dir} (same grid/scale args)"
+                    )
+                if failures and args.strict:
+                    return 2
+                return 1 if (args.fail_on_miss and misses) else 0
+            outcomes = report.completed_outcomes()
+
+        rows = sweep_rows(outcomes)
+        if rows:
+            table = format_table(rows, list(rows[0]))
+            if args.out == "-":
+                print(table)
+            else:
+                with open(args.out, "w") as fh:
+                    fh.write(table + "\n")
+                print(f"table written to {args.out}")
+        else:
+            print("no cells completed", file=sys.stderr)
+        print(
+            f"cells: {len(rows)} ({hits} cache hits, {misses} simulated"
+            + (f", {len(failures)} failed" if failures else "")
+            + ")"
+        )
+        if failures and args.strict:
+            print(f"FAIL: {len(failures)} cell(s) quarantined (--strict)", file=sys.stderr)
+            return 2
+        if args.fail_on_miss and misses:
+            print(f"FAIL: expected a fully warm cache but {misses} cells simulated")
+            return 1
+        return 0
+    finally:
+        if server is not None:
+            server.close()
+
+
+def _status_line(doc) -> str:
+    """One human-readable summary line for a heartbeat document."""
+    cells = doc["cells"]
+    line = (
+        f"[{doc['state']}] {cells['completed']}/{cells['total']} cells "
+        f"({cells['hits']} cache hits, {cells['misses']} simulated"
+        + (f", {cells['failed']} failed" if cells["failed"] else "")
+        + f") {doc['throughput_cells_per_sec']:.2f} cells/s"
     )
-    if failures and args.strict:
-        print(f"FAIL: {len(failures)} cell(s) quarantined (--strict)", file=sys.stderr)
-        return 2
-    if args.fail_on_miss and misses:
-        print(f"FAIL: expected a fully warm cache but {misses} cells simulated")
-        return 1
-    return 0
+    eta = doc.get("eta_seconds")
+    if doc["state"] == "running" and eta:
+        line += f", ETA {eta:.0f}s"
+    in_flight = doc.get("workers", {}).get("in_flight", [])
+    if in_flight:
+        labels = ", ".join(cell.get("label", "?") for cell in in_flight[:4])
+        line += f" | in flight: {labels}"
+        if len(in_flight) > 4:
+            line += f" (+{len(in_flight) - 4} more)"
+    return line
+
+
+def cmd_status(args) -> int:
+    """Show (or follow) the live heartbeat of a sweep against a store."""
+    import json
+    import time
+
+    from repro.obs.status import read_status
+
+    while True:
+        doc = read_status(args.cache_dir)
+        if doc is None:
+            if not args.watch:
+                print(
+                    f"no status.json in {args.cache_dir} — no sweep has "
+                    "heartbeat into this store yet",
+                    file=sys.stderr,
+                )
+                return 1
+        elif args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(_status_line(doc))
+            for failure in doc.get("quarantined", []):
+                print(
+                    f"  quarantined {failure['label']}: {failure['kind']} "
+                    f"after {failure['attempts']} attempt(s)",
+                    file=sys.stderr,
+                )
+        if not args.watch:
+            return 0
+        if doc is not None and doc["state"] != "running":
+            return 0
+        time.sleep(args.interval)
 
 
 def cmd_store(args) -> int:
@@ -554,6 +664,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the instrumented per-stage breakdown run",
     )
+    bench.add_argument(
+        "--stage-profile",
+        action="store_true",
+        help="also run each scenario under the engine stage profiler and "
+        "record the ranked per-body attribution table (L2 tag/MSHR, DRAM "
+        "timing, completion/reply delivery, ...) in engine_meta",
+    )
     bench.add_argument("--out", default="-", help="output JSON file ('-' = stdout)")
     _add_scale_args(bench)
     bench.set_defaults(func=cmd_bench)
@@ -583,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--ring-capacity", type=int, default=65536, help="event ring-buffer capacity"
+    )
+    trace.add_argument(
+        "--backend",
+        default=None,
+        help="engine backend for the traced run: object | soa "
+        "(default: REPRO_ENGINE or object); recorded in the stats JSON",
     )
     _add_scale_args(trace)
     trace.set_defaults(func=cmd_trace)
@@ -672,9 +795,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="JSON fault-injection plan (testing; see docs/resilience.md)",
     )
+    sweep.add_argument(
+        "--serve-status",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /status, /metrics, and /journal over HTTP while the "
+        "sweep runs (0 = ephemeral port; requires --cache-dir)",
+    )
     sweep.add_argument("--out", default="-", help="table output file ('-' = stdout)")
     _add_scale_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    status = sub.add_parser(
+        "status",
+        help="show the live heartbeat (status.json) of a sweep's store",
+    )
+    status.add_argument(
+        "--cache-dir", required=True, help="result-store root directory"
+    )
+    status.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep printing until the campaign leaves the 'running' state",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="polling interval with --watch (default: 1)",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw status.json document instead of a summary line",
+    )
+    status.set_defaults(func=cmd_status)
 
     store = sub.add_parser("store", help="inspect the content-addressed result store")
     store.add_argument("action", choices=("ls", "gc", "verify"))

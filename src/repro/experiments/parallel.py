@@ -321,6 +321,7 @@ def run_grid_resumable(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[fault_injection.FaultPlan] = None,
     watchdog: Optional[int] = None,
+    status_interval: float = 1.0,
 ) -> GridReport:
     """The resumable/sharded grid engine behind :func:`run_grid_parallel`.
 
@@ -342,6 +343,17 @@ def run_grid_resumable(
     the given cycle window; ``faults`` installs a test-only
     :class:`~repro.resilience.faults.FaultPlan` in every worker (also
     loadable via the ``REPRO_FAULTS`` environment variable).
+
+    With ``store_dir`` set the run also heartbeats: a
+    :class:`repro.obs.status.StatusPublisher` keeps an atomically
+    replaced ``status.json`` in the store root (throttled to
+    ``status_interval`` seconds between writes; see
+    ``docs/observability.md`` for the schema), and a final
+    ``sweep_summary`` event is always journaled — even when every cell
+    was a warm cache hit, so a 100%-hit ``--resume`` still leaves a
+    visible record instead of an empty campaign.  The heartbeat is
+    observational only: armed runs compute bit-identical results and
+    store fingerprints to unarmed runs.
     """
     if max_workers < 1:
         raise ValueError("max_workers must be positive")
@@ -373,10 +385,21 @@ def run_grid_resumable(
         report.counters = EngineCounters()
 
     journal_store = None
+    publisher = None
     if store_dir is not None:
+        from repro.obs.metrics import get_registry
+        from repro.obs.status import StatusPublisher
         from repro.store import ResultStore
 
         journal_store = ResultStore(store_dir)
+        publisher = StatusPublisher(
+            store_dir,
+            total_cells=len(subset),
+            shard=shard,
+            max_workers=max_workers,
+            interval=status_interval,
+            registry=get_registry(),
+        )
 
     def quarantine(failure: CellFailure) -> None:
         # Rebase the subset-relative index onto the full task list and
@@ -386,15 +409,45 @@ def run_grid_resumable(
         report.failed_outcomes.append(failure)
         if journal_store is not None:
             journal_store.log_event("quarantine", **failure.to_dict())
+        if publisher is not None:
+            publisher.record_quarantine(failure.to_dict())
 
     def fold(position: int, record: Dict) -> None:
         report.outcomes[selected[position]] = CompetitiveOutcome(**record["outcome"])
-        if record["store"] in ("hit", "memo"):
+        hit = record["store"] in ("hit", "memo")
+        if hit:
             report.hits += 1
         else:
             report.misses += 1
         if report.counters is not None and record["perf"]:
             report.counters.merge_snapshot(record["perf"])
+        if publisher is not None:
+            publisher.record_completion(hit=hit)
+
+    def finalize(state: str) -> None:
+        """Publish the final heartbeat and journal the run's summary line.
+
+        Runs unconditionally at the end of the invocation (``complete``
+        or ``aborted``), so even a sweep whose every cell was a warm
+        cache hit — which journals no ``put`` lines — leaves a visible
+        account of what happened.
+        """
+        if publisher is not None:
+            publisher.sync_retries(
+                sum(1 for e in report.retry_events if e.get("kind") == "retry")
+            )
+            publisher.finish(state)
+        if journal_store is not None:
+            journal_store.log_event(
+                "sweep_summary",
+                state=state,
+                total=len(subset),
+                completed=report.completed,
+                hits=report.hits,
+                misses=report.misses,
+                failed=report.failed,
+                shard=list(shard) if shard is not None else None,
+            )
 
     completed = 0
     # Crash/hang faults must never run in the coordinating process, so
@@ -402,73 +455,91 @@ def run_grid_resumable(
     # max_workers=1 (so does a cell timeout, which needs a killable
     # worker to enforce).
     use_pool = max_workers > 1 or cell_timeout is not None or faults is not None
-    if not use_pool:
-        _init_worker(*init_args)
-        try:
-            for position, task in enumerate(subset):
-                attempts = 0
-                while True:
-                    try:
-                        record = _run_task(task)
-                    except SweepAborted:
-                        raise
-                    except Exception as exc:
-                        kind = classify_failure(exc)
-                        attempts += 1
-                        if kind in FATAL_KINDS or attempts > retry.retries:
-                            quarantine(
-                                CellFailure(
-                                    index=position,
-                                    label=task.label,
-                                    kind=kind,
-                                    message=str(exc),
-                                    attempts=attempts,
-                                    diagnostic=getattr(exc, "diagnostic", None),
+    try:
+        if not use_pool:
+            _init_worker(*init_args)
+            try:
+                for position, task in enumerate(subset):
+                    attempts = 0
+                    while True:
+                        try:
+                            record = _run_task(task)
+                        except SweepAborted:
+                            raise
+                        except Exception as exc:
+                            kind = classify_failure(exc)
+                            attempts += 1
+                            if kind in FATAL_KINDS or attempts > retry.retries:
+                                quarantine(
+                                    CellFailure(
+                                        index=position,
+                                        label=task.label,
+                                        kind=kind,
+                                        message=str(exc),
+                                        attempts=attempts,
+                                        diagnostic=getattr(exc, "diagnostic", None),
+                                    )
                                 )
+                                break
+                            delay = retry.delay(task.label, attempts)
+                            report.retry_events.append(
+                                {
+                                    "kind": "retry",
+                                    "label": task.label,
+                                    "attempt": attempts,
+                                    "failure": kind,
+                                    "delay": round(delay, 4),
+                                    "message": str(exc),
+                                }
                             )
-                            break
-                        delay = retry.delay(task.label, attempts)
-                        report.retry_events.append(
-                            {
-                                "kind": "retry",
-                                "label": task.label,
-                                "attempt": attempts,
-                                "failure": kind,
-                                "delay": round(delay, 4),
-                                "message": str(exc),
-                            }
-                        )
-                        if delay > 0:
-                            time.sleep(delay)
-                        continue
-                    fold(position, record)
-                    completed += 1
-                    if abort_after is not None and completed >= abort_after:
-                        raise SweepAborted(completed)
-                    break
-        finally:
-            _WORKER_RUNNER = None
-    else:
-        supervisor = Supervisor(
-            _run_task,
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=init_args,
-            cell_timeout=cell_timeout,
-            retry=retry,
-            labeler=lambda task: task.label,
-        )
-        supervisor.on_quarantine = quarantine
+                            if publisher is not None:
+                                publisher.record_retry(report.retry_events[-1])
+                            if delay > 0:
+                                time.sleep(delay)
+                            continue
+                        fold(position, record)
+                        completed += 1
+                        if abort_after is not None and completed >= abort_after:
+                            raise SweepAborted(completed)
+                        break
+            finally:
+                _WORKER_RUNNER = None
+        else:
+            supervisor = Supervisor(
+                _run_task,
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=init_args,
+                cell_timeout=cell_timeout,
+                retry=retry,
+                labeler=lambda task: task.label,
+            )
+            supervisor.on_quarantine = quarantine
+            if publisher is not None:
 
-        def on_result(position: int, record: Dict) -> None:
-            nonlocal completed
-            fold(position, record)
-            completed += 1
-            if abort_after is not None and completed >= abort_after:
-                raise SweepAborted(completed)
+                def heartbeat(cells: List[Dict]) -> None:
+                    # Live retry count rides the same tick as liveness
+                    # (the supervisor appends retry events internally).
+                    publisher.sync_retries(
+                        sum(1 for e in supervisor.events if e.get("kind") == "retry")
+                    )
+                    publisher.record_in_flight(cells)
 
-        supervisor.run(subset, on_result)
-        report.retry_events.extend(supervisor.events)
+                supervisor.on_heartbeat = heartbeat
+
+            def on_result(position: int, record: Dict) -> None:
+                nonlocal completed
+                fold(position, record)
+                completed += 1
+                if abort_after is not None and completed >= abort_after:
+                    raise SweepAborted(completed)
+
+            supervisor.run(subset, on_result)
+            report.retry_events.extend(supervisor.events)
+    except BaseException:
+        finalize("aborted")
+        raise
+    finalize("complete")
     return report
 
 

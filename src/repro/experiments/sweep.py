@@ -67,6 +67,7 @@ def run_sweep(
     retry=None,
     faults=None,
     watchdog: Optional[int] = None,
+    status_interval: float = 1.0,
 ) -> GridReport:
     """Run a (resumable, shardable) sweep over ``tasks``.
 
@@ -77,7 +78,9 @@ def run_sweep(
     retried and, if persistent, quarantined per ``retry`` /
     ``cell_timeout`` (see :func:`~repro.experiments.parallel.run_grid_resumable`
     and ``docs/resilience.md``); the report's ``failed_outcomes`` lists
-    what was given up on.
+    what was given up on.  With ``store_dir`` set the run heartbeats a
+    live ``status.json`` into the store root every ``status_interval``
+    seconds (see ``docs/observability.md`` and ``repro status``).
     """
     return run_grid_resumable(
         scale,
@@ -92,6 +95,7 @@ def run_sweep(
         retry=retry,
         faults=faults,
         watchdog=watchdog,
+        status_interval=status_interval,
     )
 
 

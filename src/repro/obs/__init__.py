@@ -19,11 +19,29 @@ hot-path hook is guarded by an ``is not None`` check — the same pattern as
   (Perfetto / ``chrome://tracing`` loadable) plus the JSON stats summary
   attached to :class:`~repro.sim.results.SimResult`.
 
+On top of the simulated-machine pillars, the package carries the
+*campaign* observability surface: a process-wide metrics registry
+(:mod:`repro.obs.metrics` — counters, gauges, streaming histograms, JSON
+snapshot and Prometheus exposition), the sweep heartbeat
+(:mod:`repro.obs.status` — atomically-replaced ``status.json`` in the
+store dir), and the stdlib HTTP endpoint serving both plus recent store
+journal events (:mod:`repro.obs.server`, wired to
+``repro sweep --serve-status`` / ``repro status``).
+
 See ``docs/observability.md`` for the architecture and a walkthrough.
 """
 
 from repro.obs.events import EventRing, TraceEvent
 from repro.obs.histogram import LogHistogram
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, get_registry
+from repro.obs.server import StatusServer
+from repro.obs.status import (
+    STATUS_FILENAME,
+    StatusPublisher,
+    read_status,
+    status_path,
+    validate_status,
+)
 from repro.obs.telemetry import HOP_STAGES, STAGE_ORDER, Telemetry
 from repro.obs.trace import build_trace, validate_trace, write_stats, write_trace
 
@@ -31,6 +49,16 @@ __all__ = [
     "EventRing",
     "TraceEvent",
     "LogHistogram",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "get_registry",
+    "StatusServer",
+    "STATUS_FILENAME",
+    "StatusPublisher",
+    "read_status",
+    "status_path",
+    "validate_status",
     "HOP_STAGES",
     "STAGE_ORDER",
     "Telemetry",

@@ -1,0 +1,123 @@
+"""Stdlib HTTP endpoint for a live sweep (``repro sweep --serve-status``).
+
+Serves three read-only views of a campaign, all backed by artifacts the
+sweep already maintains (so the server holds no state of its own and can
+be pointed at a store directory owned by *another* process):
+
+* ``/status`` — the heartbeat ``status.json``
+  (:mod:`repro.obs.status`), as JSON; 503 with
+  ``{"state": "unknown"}`` until the first heartbeat lands.
+* ``/metrics`` — Prometheus text exposition of the attached
+  :class:`~repro.obs.metrics.MetricsRegistry` (the process-wide default
+  unless one is passed in).
+* ``/journal?n=N`` — the last N (default 50, capped at 1000) store
+  journal events (puts, quarantines, sweep summaries) as a JSON array.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no third-party
+dependencies — and run on a daemon thread so it never blocks sweep
+shutdown.  Binding port 0 picks an ephemeral port (tests do this);
+``server.port`` reports the bound port either way.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.status import read_status
+
+PathLike = Union[str, Path]
+
+#: Hard cap on journal events returned by one ``/journal`` request.
+JOURNAL_LIMIT = 1000
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    server_version = "repro-status/1"
+
+    # The handler class is shared; per-server state lives on the server
+    # instance (`self.server`), set up by StatusServer below.
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (the sweep owns the console)."""
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload) -> None:
+        self._send(code, json.dumps(payload).encode(), "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        if parsed.path == "/status":
+            document = read_status(self.server.store_dir)
+            if document is None:
+                self._send_json(503, {"state": "unknown"})
+            else:
+                self._send_json(200, document)
+        elif parsed.path == "/metrics":
+            body = self.server.registry.render_prometheus().encode()
+            self._send(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif parsed.path == "/journal":
+            try:
+                count = int(parse_qs(parsed.query).get("n", ["50"])[0])
+            except ValueError:
+                self._send_json(400, {"error": "n must be an integer"})
+                return
+            count = max(0, min(count, JOURNAL_LIMIT))
+            from repro.store import ResultStore
+
+            store = ResultStore(self.server.store_dir)
+            self._send_json(200, store.journal_entries()[-count:])
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+
+class StatusServer:
+    """Background HTTP server over a store directory's campaign views."""
+
+    def __init__(
+        self,
+        store_dir: PathLike,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.store_dir = Path(store_dir)
+        self._httpd = ThreadingHTTPServer((host, port), _StatusHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.store_dir = self.store_dir
+        self._httpd.registry = registry if registry is not None else get_registry()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-status", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "StatusServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

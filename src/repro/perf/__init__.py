@@ -7,6 +7,7 @@ active-set scheduling and event-driven fast-forwarding.
 """
 
 from repro.perf.counters import EngineCounters
+from repro.perf.profiler import STAGE_BODIES, StageProfiler
 from repro.perf.bench import (
     BenchScenario,
     SCENARIOS,
@@ -18,6 +19,8 @@ from repro.perf.bench import (
 
 __all__ = [
     "EngineCounters",
+    "STAGE_BODIES",
+    "StageProfiler",
     "BenchScenario",
     "SCENARIOS",
     "TRACE_SCENARIOS",

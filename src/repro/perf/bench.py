@@ -220,6 +220,7 @@ def run_engine_bench(
     stage_breakdown: bool = True,
     backend: str = DEFAULT_BACKEND,
     compare_soa: bool = False,
+    stage_profile: bool = False,
 ) -> Dict:
     """Run the engine benchmark and return the BENCH_engine.json payload.
 
@@ -240,6 +241,13 @@ def run_engine_bench(
     ``entry["engine_meta"][<backend>]`` rather than inside the timing
     dicts, so the ``fast`` / ``soa`` sections only carry numbers that
     are actually comparable.
+
+    ``stage_profile`` (``repro bench --stage-profile``) runs each
+    scenario once more under a :class:`~repro.perf.profiler.StageProfiler`
+    and records the ranked per-body attribution table (L2 tag/MSHR, DRAM
+    timing, completion/reply delivery, ...) under
+    ``entry["engine_meta"][<backend>]["stage_profile"]`` — the data that
+    decides which Python body migrates to ``_kernels.c`` next.
     """
     backend = resolve_backend(backend)
     names = [resolve_scenario(n) for n in (scenario_names or list(SCENARIOS))]
@@ -305,6 +313,27 @@ def run_engine_bench(
                 max_cycles=scenario.max_cycles, until_all_complete_once=False
             )
             entry["stages"] = counters.breakdown()
+
+        if stage_profile:
+            from repro.perf.profiler import StageProfiler
+
+            profiled = _build_system(
+                scenario, channels, sms, scale, seed, fast_forward=True, backend=backend
+            )
+            profiler = StageProfiler(profiled)
+            start = time.perf_counter()
+            profiled_result = profiled.run(
+                max_cycles=scenario.max_cycles, until_all_complete_once=False
+            )
+            profiled_wall = time.perf_counter() - start
+            if profiled_result.cycles != fast["cycles"]:  # pragma: no cover - guard
+                raise AssertionError(
+                    f"{name}: profiled run simulated {profiled_result.cycles} "
+                    f"cycles, unprofiled run {fast['cycles']}"
+                )
+            meta = entry["engine_meta"][backend]
+            meta["stage_profile"] = profiler.table()
+            meta["stage_profile_wall_seconds"] = round(profiled_wall, 4)
 
         payload["scenarios"][name] = entry
     return payload

@@ -1,0 +1,138 @@
+"""Engine stage profiler: wall-time attribution for per-event bodies.
+
+``enable_perf_counters`` times the engine's *top-level* stages (the nine
+entries of ``GPUSystem._stages``), which is the right granularity for
+regression gates but too coarse to guide the ``_kernels.c`` migration:
+the SoA backend's ring stages are mostly typed-buffer plumbing, and the
+open question is which of the *Python bodies still inside them* — L2
+tag/MSHR lookup, DRAM timing updates, completion/reply delivery — costs
+the most (see ROADMAP.md).  :class:`StageProfiler` answers that by
+wrapping exactly those bodies with ``perf_counter`` timers.
+
+Zero-cost-when-off is structural: nothing in the engine references the
+profiler — it *installs itself* onto an already-built system by shadowing
+bound methods with instance attributes (every call site reached through
+normal attribute lookup picks the wrapper up; an unprofiled system has no
+wrappers to hit).  The wrappers are transparent pass-throughs, so a
+profiled run stays bit-identical to an unprofiled one — only wall time
+changes (each timed call pays ~2 ``perf_counter`` reads, so treat the
+absolute seconds as attribution, not as the unprofiled run's cost).
+
+Bodies are wrapped only when the backend exposes them: the SoA fused
+bodies (``_fused_issue_mem``, ``_fused_pim``, ...) do not exist on the
+object backend, where the profile degrades to the bodies both engines
+share (L2 lookup, controller tick, completion/reply delivery).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.perf.counters import EngineCounters
+
+#: Profiled bodies: ``(stage, holder, attribute)``.  ``holder`` names
+#: where the method lives — the system itself, every L2 slice, every SM,
+#: or every memory controller.  Order is documentation only; the output
+#: table is ranked by measured seconds.
+STAGE_BODIES = (
+    # Python bodies still inside the SoA ring stages (the `_kernels.c`
+    # migration candidates named in ROADMAP.md):
+    ("l2_tag_mshr", "l2_slice", "lookup"),
+    ("dram_timing", "system", "_fused_issue_mem"),
+    ("pim_drain", "system", "_fused_pim"),
+    ("mode_switch", "system", "_fused_switch"),
+    ("warp_advance", "system", "_fused_advance_due"),
+    # Delivery bodies shared by both backends:
+    ("completion_delivery", "system", "_handle_completion"),
+    ("reply_delivery", "sm", "receive_reply"),
+    # The object-path controller state machine (on the SoA backend this
+    # only fires for channels the fused tick cannot take):
+    ("controller_tick", "controller", "tick"),
+)
+
+
+class StageProfiler:
+    """Attach per-body wall-clock timers to a built system.
+
+    Usage::
+
+        system = build_scenario_system(...)
+        profiler = StageProfiler(system)
+        system.run(...)
+        table = profiler.table()      # ranked [{stage, seconds, calls, share}]
+
+    ``counters`` (an :class:`~repro.perf.counters.EngineCounters`) holds
+    the raw seconds/calls per stage; :meth:`table` ranks them.  Call
+    :meth:`uninstall` to restore the original bound methods.
+    """
+
+    def __init__(self, system, clock=time.perf_counter) -> None:
+        self.system = system
+        self.counters = EngineCounters(clock=clock)
+        self._clock = clock
+        self._installed: List[tuple] = []  # (holder, attribute) pairs
+        for stage, holder_kind, attribute in STAGE_BODIES:
+            for holder in self._holders(holder_kind):
+                self._wrap(holder, attribute, stage)
+
+    def _holders(self, kind: str) -> List:
+        if kind == "system":
+            return [self.system]
+        if kind == "l2_slice":
+            return list(getattr(self.system, "l2_slices", ()))
+        if kind == "sm":
+            return list(getattr(self.system, "sms", ()))
+        if kind == "controller":
+            return list(getattr(self.system, "controllers", ()))
+        raise ValueError(f"unknown holder kind {kind!r}")  # pragma: no cover
+
+    def _wrap(self, holder, attribute: str, stage: str) -> None:
+        original = getattr(holder, attribute, None)
+        if not callable(original):
+            return  # this backend does not expose the body
+        clock = self._clock
+        add = self.counters.add  # add() also counts the call
+
+        def wrapper(*args, __original=original, **kwargs):
+            start = clock()
+            try:
+                return __original(*args, **kwargs)
+            finally:
+                add(stage, clock() - start)
+
+        # Shadow the class-bound method with an instance attribute; every
+        # call site that reaches the body through attribute lookup (they
+        # all do) picks the wrapper up.
+        setattr(holder, attribute, wrapper)
+        self._installed.append((holder, attribute))
+
+    def uninstall(self) -> None:
+        """Remove every wrapper, restoring the class-bound originals."""
+        for holder, attribute in self._installed:
+            try:
+                delattr(holder, attribute)
+            except AttributeError:  # pragma: no cover - already gone
+                pass
+        self._installed.clear()
+
+    def table(self) -> List[Dict]:
+        """Ranked attribution rows: ``{stage, seconds, calls, share}``.
+
+        ``share`` is each body's fraction of the summed *measured* time
+        (the bodies are mutually exclusive except ``dram_timing`` inside
+        ``controller_tick`` on fallback channels, which in practice do
+        not overlap: fused channels never call ``tick``).
+        """
+        total = sum(self.counters.seconds.values()) or 1.0
+        rows = [
+            {
+                "stage": stage,
+                "seconds": round(seconds, 4),
+                "calls": self.counters.calls.get(stage, 0),
+                "share": round(seconds / total, 4),
+            }
+            for stage, seconds in self.counters.seconds.items()
+        ]
+        rows.sort(key=lambda row: (-row["seconds"], row["stage"]))
+        return rows

@@ -188,6 +188,11 @@ class Supervisor:
         self.events: List[Dict] = []
         self.respawns = 0
         self.on_quarantine: Optional[Callable[[CellFailure], None]] = None
+        #: Liveness hook: called once per scheduler tick with a snapshot
+        #: of the in-flight cells — ``[{"label", "attempts", "seconds"}]``
+        #: (seconds = wall clock since submission).  Feeds the sweep
+        #: heartbeat's per-worker view; throttling is the consumer's job.
+        self.on_heartbeat: Optional[Callable[[List[Dict]], None]] = None
 
     # -- pool lifecycle ----------------------------------------------------
 
@@ -291,6 +296,18 @@ class Supervisor:
                     wake = min(cell.not_before for cell in pending)
                     self._sleep(max(wake - self._clock(), self.tick * 0.1))
                     continue
+                if self.on_heartbeat is not None:
+                    now = self._clock()
+                    self.on_heartbeat(
+                        [
+                            {
+                                "label": cell.label,
+                                "attempts": cell.attempts,
+                                "seconds": round(now - cell.started, 3),
+                            }
+                            for cell in in_flight.values()
+                        ]
+                    )
                 done, _ = wait(list(in_flight), timeout=self.tick, return_when=FIRST_COMPLETED)
                 crashed: List[_Cell] = []
                 for future in done:

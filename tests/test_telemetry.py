@@ -143,6 +143,24 @@ class TestEventRing:
         with pytest.raises(ValueError):
             EventRing(capacity=0)
 
+    def test_overflow_preserves_emission_order_across_kinds(self):
+        """Wrap-around keeps interleaved kinds in emission order, and the
+        eviction counter tracks exactly the overflow past capacity."""
+        ring = EventRing(capacity=5)
+        emitted = []
+        for i in range(12):
+            kind = ("refresh", "cap_bypass", "noc_reject")[i % 3]
+            ring.emit(i, kind, channel=i % 2)
+            emitted.append((i, kind))
+        assert ring.evicted == 12 - 5
+        survivors = [(e.cycle, e.kind) for e in ring]
+        assert survivors == emitted[-5:]
+        # Filling exactly to capacity evicts nothing.
+        exact = EventRing(capacity=3)
+        for i in range(3):
+            exact.emit(i, "refresh")
+        assert exact.evicted == 0 and len(exact) == 3
+
 
 # ---------------------------------------------------------------------------
 # Observational transparency and the hop identity
@@ -216,6 +234,72 @@ class TestTransparency:
         telemetry = system.enable_telemetry()
         assert system.enable_telemetry() is telemetry
         assert all(c.telemetry is telemetry for c in system.controllers)
+
+
+class TestSoAMidRunFallback:
+    """Enabling telemetry *mid-run* on the SoA backend drains the handle
+    rings back into the object queues (``enable_telemetry``'s fallback
+    path) — the simulation must not notice."""
+
+    def run_soa(self, enable_at=None, max_cycles=10_000):
+        from repro.engine_soa import create_system
+
+        reset_request_ids()
+        config = SystemConfig.scaled(num_channels=2, num_sms=4)
+        system = create_system(
+            config, PolicySpec("F3FS"), backend="soa", seed=3, scale=0.06,
+            fast_forward=True,
+        )
+        system.add_kernel(get_gpu_kernel("G17"), num_sms=3, loop=True)
+        system.add_kernel(get_pim_kernel("P1"), num_sms=1, loop=True)
+        # Drive the run() loop by hand so telemetry can arm mid-flight.
+        for run in system.runs:
+            system._launch(run)
+        rings_before_enable = None
+        while system.cycle < max_cycles:
+            if enable_at is not None and system.cycle >= enable_at:
+                rings_before_enable = system._rings_on
+                system.enable_telemetry()
+                enable_at = None
+            system.step()
+            if system._quiescent():
+                system._fast_forward_clock(max_cycles)
+        for controller in system.controllers:
+            controller.finalize(system.cycle)
+        result = system._collect_results()
+        fingerprint = {
+            "cycles": result.cycles,
+            "issued": [
+                (c.stats.mem_issued, c.stats.pim_issued)
+                for c in system.controllers
+            ],
+            "arrivals": [
+                (c.stats.mem_arrivals, c.stats.pim_arrivals)
+                for c in system.controllers
+            ],
+            "switches": result.mode_switches,
+            "hit_rate": result.row_buffer_hit_rate,
+            "replies": system.replies_sent,
+        }
+        return system, result, fingerprint, rings_before_enable
+
+    def test_midrun_enable_drains_rings_bit_identically(self):
+        _, _, unarmed, _ = self.run_soa(enable_at=None)
+        system, result, armed, rings_before = self.run_soa(enable_at=3_000)
+        # The premise: the hot path really was on the ring representation
+        # before telemetry armed, and fell back off it.
+        assert rings_before is True
+        assert system._rings_on is False
+        assert armed == unarmed
+        # ...and the late-armed telemetry still collected real data.
+        assert result.telemetry is not None
+        assert system.telemetry.folded_requests > 0
+        assert result.telemetry["events"]["by_kind"]
+
+    def test_midrun_enable_carries_queue_occupancy_over(self):
+        system, _, _, _ = self.run_soa(enable_at=3_000)
+        # Ring push/peak accounting migrated into the object queues.
+        assert any(q.pushes > 0 for q in system._dram_q0)
 
 
 class TestTelemetryUnit:
@@ -295,6 +379,13 @@ class TestTraceExport:
         assert validate_trace(doc) == []
         stats = json.loads((tmp_path / "trace_stats.json").read_text())
         assert stats["hop_identity"]["mean_abs_gap"] == 0.0
+        # The stats surface names the engine that produced the trace and
+        # its per-backend bookkeeping (PR 7's engine_meta convention).
+        backend = stats["backend"]
+        assert backend in ("object", "soa")
+        meta = stats["engine_meta"][backend]
+        assert meta["steps_executed"] > 0
+        assert meta["cycles_skipped"] >= 0
         assert "hop identity" in capsys.readouterr().out
 
 
@@ -369,3 +460,29 @@ class TestEngineCounters:
         # Back-compat: the default return shape is a bare list.
         plain = run_grid_parallel(scale, tasks, max_workers=1)
         assert isinstance(plain, list) and len(plain) == 1
+
+    def test_grid_parallel_merges_perf_across_workers(self):
+        """collect_perf across real worker processes: every worker's stage
+        counters come home and merge into one EngineCounters."""
+        from repro.experiments import ExperimentScale, make_tasks, run_grid_parallel
+
+        scale = ExperimentScale(
+            num_channels=2, gpu_sms_full=3, gpu_sms_corun=2, pim_sms=1,
+            workload_scale=0.05, max_cycles=400_000,
+        )
+        tasks = make_tasks(
+            ["G17"], ["P1"], [PolicySpec("FR-FCFS")], vc_configs=(1, 2)
+        )
+        outcomes, merged = run_grid_parallel(
+            scale, tasks, max_workers=2, collect_perf=True
+        )
+        assert len(outcomes) == 2
+        assert merged.total_seconds > 0
+        # The merged counters cover both cells: at least as many stage
+        # calls as either cell alone produces serially.
+        serial_outcomes, serial = run_grid_parallel(
+            scale, tasks[:1], max_workers=1, collect_perf=True
+        )
+        assert len(serial_outcomes) == 1
+        for stage, calls in serial.calls.items():
+            assert merged.calls.get(stage, 0) >= calls
