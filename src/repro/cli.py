@@ -395,11 +395,14 @@ def cmd_sweep(args) -> int:
         if args.cache_dir is None:
             raise SystemExit("--serve-status requires --cache-dir")
         from repro.obs.metrics import get_registry
-        from repro.obs.server import StatusServer
+        from repro.obs.server import PortInUseError, StatusServer
 
-        server = StatusServer(
-            args.cache_dir, port=args.serve_status, registry=get_registry()
-        )
+        try:
+            server = StatusServer(
+                args.cache_dir, port=args.serve_status, registry=get_registry()
+            )
+        except PortInUseError as exc:
+            raise SystemExit(str(exc))
         print(
             f"status endpoint: {server.url}/status "
             "(also /metrics and /journal)",
@@ -527,6 +530,99 @@ def cmd_status(args) -> int:
         if doc is not None and doc["state"] != "running":
             return 0
         time.sleep(args.interval)
+
+
+def cmd_fabric_serve(args) -> int:
+    """Coordinate a distributed sweep: lease cells to fabric workers."""
+    from repro.experiments import ExperimentScale, RetryPolicy, default_grid_tasks
+    from repro.fabric import FabricCoordinator, run_campaign
+
+    scale = ExperimentScale(
+        num_channels=args.channels,
+        workload_scale=args.scale,
+        seed=args.seed,
+        starvation_factor=15,
+    )
+    tasks = default_grid_tasks(
+        gpu_subset=args.gpus or None,
+        pim_subset=args.pims or None,
+        policy_names=args.policies or None,
+        vc_configs=tuple(args.vcs),
+    )
+    try:
+        retry = RetryPolicy(retries=args.retries, backoff_base=args.backoff)
+    except ValueError as exc:
+        raise SystemExit(f"invalid retry settings: {exc}")
+    coordinator = FabricCoordinator(
+        scale,
+        tasks,
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        ttl=args.ttl,
+        retry=retry,
+    )
+
+    def announce(coord) -> None:
+        print(
+            f"fabric coordinator on http://{coord.address} — "
+            f"{len(coord.cells)} cells ({coord.hits} already warm); "
+            f"join with: repro fabric work --connect {coord.address}",
+            file=sys.stderr,
+        )
+
+    summary = run_campaign(coordinator, linger=args.linger, announce=announce)
+    print(
+        f"campaign {summary['state']}: {summary['completed']}/{summary['total']} "
+        f"cells ({summary['hits']} cache hits, {summary['misses']} simulated"
+        + (f", {summary['failed']} failed" if summary["failed"] else "")
+        + f") via {len(summary['workers'])} worker(s)"
+    )
+    for failure in coordinator.failures:
+        print(
+            f"  quarantined {failure['label']}: {failure['kind']} "
+            f"after {failure['attempts']} attempt(s)",
+            file=sys.stderr,
+        )
+    if summary["state"] != "complete":
+        return 1
+    if summary["failed"] and args.strict:
+        print(f"FAIL: {summary['failed']} cell(s) quarantined (--strict)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_fabric_work(args) -> int:
+    """Join a fabric campaign as a worker: lease, simulate, stream back."""
+    import tempfile
+
+    from repro.experiments import RetryPolicy
+    from repro.fabric import FabricError, FabricWorker
+
+    try:
+        retry = RetryPolicy(retries=args.retries, backoff_base=args.backoff)
+    except ValueError as exc:
+        raise SystemExit(f"invalid retry settings: {exc}")
+    scratch = args.scratch_dir or tempfile.mkdtemp(prefix="repro-fabric-")
+    worker = FabricWorker(
+        args.id or f"worker-{os.getpid()}",
+        args.connect,
+        scratch,
+        retry=retry,
+        crash_after_lease=args.crash_after_lease,
+        watchdog_window=args.watchdog,
+    )
+    try:
+        summary = worker.run()
+    except FabricError as exc:
+        raise SystemExit(f"cannot join fabric at {args.connect}: {exc}")
+    print(
+        f"worker {summary['worker']} done: {summary['completed']} completed, "
+        f"{summary['leases']} leases"
+        + (f", {summary['rejected']} rejected" if summary["rejected"] else "")
+        + (f", {summary['failed']} failed" if summary["failed"] else "")
+    )
+    return 0
 
 
 def cmd_store(args) -> int:
@@ -832,6 +928,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw status.json document instead of a summary line",
     )
     status.set_defaults(func=cmd_status)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="distributed sweep fabric: coordinator + workers over HTTP",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    serve = fabric_sub.add_parser(
+        "serve",
+        help="coordinate a campaign: lease grid cells to workers over HTTP",
+    )
+    serve.add_argument("--gpus", nargs="*", choices=rodinia_ids())
+    serve.add_argument("--pims", nargs="*", choices=pim_ids())
+    serve.add_argument("--policies", nargs="*", choices=PAPER_POLICY_ORDER)
+    serve.add_argument(
+        "--vcs", nargs="*", type=int, default=[1, 2], choices=(1, 2),
+        help="VC configurations to include (default: 1 2)",
+    )
+    serve.add_argument(
+        "--cache-dir", required=True, help="shared result-store root directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8347, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="lease time-to-live; a worker silent this long forfeits its cell",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-leases before an expiring/failing cell is quarantined",
+    )
+    serve.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base re-lease backoff, doubled per attempt (default: 0.25)",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="keep serving this long after completion so workers see 'done'",
+    )
+    serve.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 if any cell was quarantined",
+    )
+    _add_scale_args(serve)
+    serve.set_defaults(func=cmd_fabric_serve)
+
+    work = fabric_sub.add_parser(
+        "work",
+        help="join a fabric campaign: lease cells, simulate, stream results",
+    )
+    work.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="coordinator address"
+    )
+    work.add_argument("--id", default=None, help="worker id (default: worker-<pid>)")
+    work.add_argument(
+        "--scratch-dir",
+        default=None,
+        help="local scratch store (default: a fresh temp directory)",
+    )
+    work.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="local re-attempts before reporting a cell failed (default: 2)",
+    )
+    work.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base retry backoff, doubled per attempt (default: 0.25)",
+    )
+    work.add_argument(
+        "--watchdog",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="arm the in-engine stall watchdog with this no-progress window",
+    )
+    work.add_argument(
+        "--crash-after-lease",
+        type=int,
+        default=None,
+        metavar="N",
+        help="testing: hard-exit while holding the (N+1)th lease "
+        "(0 = die on the first cell; exercises lease expiry)",
+    )
+    work.set_defaults(func=cmd_fabric_work)
 
     store = sub.add_parser("store", help="inspect the content-addressed result store")
     store.add_argument("action", choices=("ls", "gc", "verify"))

@@ -108,6 +108,20 @@ def task_store_key(scale: ExperimentScale, task: GridTask) -> str:
     )
 
 
+def grid_store_keys(
+    scale: ExperimentScale, tasks: Sequence[GridTask]
+) -> List[str]:
+    """Content addresses for a whole grid, in task order.
+
+    Duplicate tasks map to duplicate keys — consumers that need
+    fingerprint-unique work units (the fabric coordinator's lease
+    groups, dedupe accounting) collapse them; consumers that need the
+    per-task view (:func:`collect_from_store`, table assembly) use the
+    list as-is.
+    """
+    return [task_store_key(scale, task) for task in tasks]
+
+
 def shard_indices(total: int, shard: Optional[Tuple[int, int]]) -> List[int]:
     """Round-robin assignment of task indices to one shard.
 
@@ -557,8 +571,8 @@ def collect_from_store(
     store = ResultStore(store_dir)
     outcomes: List[CompetitiveOutcome] = []
     missing: List[str] = []
-    for task in tasks:
-        fields = store.get(task_store_key(scale, task), kind="competitive")
+    for task, key in zip(tasks, grid_store_keys(scale, tasks)):
+        fields = store.get(key, kind="competitive")
         if fields is None:
             missing.append(task.label)
             continue

@@ -1,0 +1,48 @@
+"""Distributed sweep fabric: campaign coordination over HTTP.
+
+``repro.fabric`` turns a sweep grid into a horizontally scalable
+service: one :class:`FabricCoordinator` owns the campaign (cell leases
+with TTL + heartbeat renewal, fingerprint dedupe, checksum-verified
+streaming into the shared :class:`~repro.store.ResultStore`, the PR 8
+status/metrics surface aggregated across workers) and any number of
+:class:`FabricWorker` processes lease cells and stream results home.
+A fabric sweep and a single-process ``run_grid_resumable`` sweep over
+the same grid leave byte-identical stores behind.
+
+CLI: ``repro fabric serve`` / ``repro fabric work --connect HOST:PORT``.
+Protocol and state machine: ``docs/fabric.md``.
+"""
+
+from repro.fabric.coordinator import FabricCoordinator, group_tasks, run_campaign
+from repro.fabric.protocol import (
+    DEFAULT_TTL,
+    FABRIC_SCHEMA,
+    FabricConnectionError,
+    FabricError,
+    FabricProtocolError,
+    lease_task_fields,
+    task_from_fields,
+    validate_documents,
+)
+from repro.fabric.worker import (
+    FabricClient,
+    FabricWorker,
+    WorkerAbandoned,
+)
+
+__all__ = [
+    "DEFAULT_TTL",
+    "FABRIC_SCHEMA",
+    "FabricClient",
+    "FabricConnectionError",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricProtocolError",
+    "FabricWorker",
+    "WorkerAbandoned",
+    "group_tasks",
+    "lease_task_fields",
+    "run_campaign",
+    "task_from_fields",
+    "validate_documents",
+]

@@ -1,0 +1,140 @@
+"""Wire protocol shared by the fabric coordinator and its workers.
+
+The fabric speaks plain HTTP/1.1 with JSON bodies — no third-party
+dependencies on either side.  The coordinator owns all campaign state;
+workers are stateless loops that lease cells, execute them, and stream
+the resulting store documents back.  Endpoints (see ``docs/fabric.md``
+for the full state machine):
+
+* ``GET /grid`` — handshake: protocol schema, coordinator code version,
+  the :class:`~repro.experiments.runner.ExperimentScale` fields, the
+  lease TTL, and the cell totals.  Workers refuse to join a coordinator
+  whose ``code`` differs from their own — a mixed-code fleet would
+  compute fingerprints that never match the shared store.
+* ``POST /lease`` — ``{"worker": id}`` → one leased cell (task fields +
+  ``lease_id`` + TTL), ``{"empty": true}`` when everything runnable is
+  leased or backing off, or ``{"done": true}`` once the campaign ends.
+* ``POST /heartbeat`` — ``{"worker", "lease_ids"}`` renews lease
+  deadlines; the reply lists leases still ``renewed`` and those ``lost``
+  (expired and possibly re-leased elsewhere).
+* ``POST /complete`` — ``{"worker", "lease_id", "key", "documents",
+  "outcome"}``: the cell's store documents (each checksum-carrying, see
+  :func:`validate_documents`) plus the outcome fields.  Accepted exactly
+  once per live lease; stale, duplicate, or corrupt completions are
+  rejected with a reason and journaled.
+* ``POST /fail`` — ``{"worker", "lease_id", "key", "kind", "message",
+  "attempts"}``: the worker gave up on the cell after its local retries;
+  the coordinator quarantines it (``docs/resilience.md`` semantics).
+* ``GET /status`` / ``GET /metrics`` / ``GET /journal?n=N`` — the PR 8
+  observability surface, aggregated across every worker (same schema as
+  a single-process sweep's ``status.json`` / Prometheus exposition).
+
+Journal event names below are what the exactly-once accounting in
+``tests/test_fabric.py`` (and operators grepping ``journal.jsonl``) key
+on: every execution is bracketed by one ``fabric_lease`` and at most one
+``fabric_complete`` for that ``lease_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.store.fingerprint import checksum
+
+#: Protocol schema version; bumped on any wire-incompatible change.
+FABRIC_SCHEMA = 1
+
+#: Default lease time-to-live (seconds).  A worker heartbeats at TTL/3,
+#: so one missed heartbeat never kills a healthy lease.
+DEFAULT_TTL = 30.0
+
+# -- journal event names (store journal.jsonl) ---------------------------
+
+EV_LEASE = "fabric_lease"  # lease granted: {key, label, worker, lease_id, attempt}
+EV_COMPLETE = "fabric_complete"  # completion accepted: {key, label, worker, lease_id}
+EV_REJECT = "fabric_reject"  # completion/fail refused: {key, lease_id, reason}
+EV_EXPIRE = "fabric_expire"  # lease TTL ran out: {key, label, worker, lease_id}
+EV_FAIL = "fabric_fail"  # worker-reported failure: {key, lease_id, kind, message}
+
+#: Reasons a /complete or /fail can be refused.  ``stale-lease`` and
+#: ``already-complete`` are benign races (the work is simply discarded —
+#: cells are idempotent); ``corrupt-payload`` and ``missing-cell-document``
+#: blame the lease like a failure attempt.
+REJECT_STALE = "stale-lease"
+REJECT_DONE = "already-complete"
+REJECT_CORRUPT = "corrupt-payload"
+REJECT_MISSING = "missing-cell-document"
+REJECT_UNKNOWN_CELL = "unknown-cell"
+
+
+class FabricError(RuntimeError):
+    """Base class for fabric client/worker errors."""
+
+
+class FabricConnectionError(FabricError):
+    """The coordinator could not be reached (socket-level failure)."""
+
+
+class FabricProtocolError(FabricError):
+    """The coordinator replied with something the client cannot accept
+    (schema/code mismatch, malformed document, HTTP error status)."""
+
+
+def validate_documents(documents) -> List[str]:
+    """Structural + checksum validation of a /complete document list.
+
+    Each document is the exact on-disk shape of one
+    :class:`~repro.store.ResultStore` object — ``{"key", "value",
+    "meta", "checksum"}`` — and the checksum must re-derive from the
+    value, so a payload corrupted in flight (or fabricated by a buggy
+    worker) is rejected before it can poison the shared store.
+    """
+    errors: List[str] = []
+    if not isinstance(documents, list) or not documents:
+        return ["documents must be a non-empty list"]
+    for i, doc in enumerate(documents):
+        if not isinstance(doc, dict):
+            errors.append(f"documents[{i}] must be an object")
+            continue
+        key = doc.get("key")
+        if not isinstance(key, str) or not key:
+            errors.append(f"documents[{i}].key must be a non-empty string")
+            continue
+        meta = doc.get("meta")
+        if not isinstance(meta, dict):
+            errors.append(f"documents[{i}].meta must be an object")
+        if "value" not in doc:
+            errors.append(f"documents[{i}] has no value")
+            continue
+        try:
+            derived = checksum(doc["value"])
+        except TypeError as exc:
+            errors.append(f"documents[{i}].value is not fingerprintable: {exc}")
+            continue
+        if doc.get("checksum") != derived:
+            errors.append(f"documents[{i}] checksum mismatch for key {key[:16]}")
+    return errors
+
+
+def lease_task_fields(task) -> Dict:
+    """The GridTask fields a lease carries over the wire (JSON-safe)."""
+    return {
+        "gpu_id": task.gpu_id,
+        "pim_id": task.pim_id,
+        "policy_name": task.policy_name,
+        "policy_params": [list(pair) for pair in task.policy_params],
+        "num_vcs": task.num_vcs,
+    }
+
+
+def task_from_fields(fields: Dict):
+    """Rebuild a GridTask from :func:`lease_task_fields` output."""
+    from repro.experiments.parallel import GridTask
+
+    return GridTask(
+        gpu_id=fields["gpu_id"],
+        pim_id=fields["pim_id"],
+        policy_name=fields["policy_name"],
+        policy_params=tuple((str(k), v) for k, v in fields["policy_params"]),
+        num_vcs=int(fields["num_vcs"]),
+    )

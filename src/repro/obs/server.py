@@ -21,6 +21,7 @@ shutdown.  Binding port 0 picks an ephemeral port (tests do this);
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -35,6 +36,25 @@ PathLike = Union[str, Path]
 
 #: Hard cap on journal events returned by one ``/journal`` request.
 JOURNAL_LIMIT = 1000
+
+
+class PortInUseError(OSError):
+    """A requested status port is already bound (or not bindable).
+
+    Subclasses :class:`OSError` so existing ``except OSError`` callers
+    keep working, but carries a message that names the port and the
+    obvious fixes — the CLI shows this instead of a raw traceback.
+    """
+
+    def __init__(self, host: str, port: int, cause: OSError) -> None:
+        super().__init__(
+            cause.errno,
+            f"cannot serve status on {host}:{port} — port {port} is "
+            f"already in use or not bindable ({cause.strerror or cause}); "
+            "pick another port, or use port 0 for an ephemeral one",
+        )
+        self.host = host
+        self.port = port
 
 
 class _StatusHandler(BaseHTTPRequestHandler):
@@ -77,7 +97,8 @@ class _StatusHandler(BaseHTTPRequestHandler):
             from repro.store import ResultStore
 
             store = ResultStore(self.server.store_dir)
-            self._send_json(200, store.journal_entries()[-count:])
+            # [-0:] would be the whole journal, not none of it.
+            self._send_json(200, store.journal_entries()[-count:] if count else [])
         else:
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -93,7 +114,12 @@ class StatusServer:
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store_dir = Path(store_dir)
-        self._httpd = ThreadingHTTPServer((host, port), _StatusHandler)
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _StatusHandler)
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                raise PortInUseError(host, port, exc) from exc
+            raise
         self._httpd.daemon_threads = True
         self._httpd.store_dir = self.store_dir
         self._httpd.registry = registry if registry is not None else get_registry()

@@ -56,14 +56,29 @@ def status_path(store_dir: PathLike) -> Path:
     return Path(store_dir) / STATUS_FILENAME
 
 
-def read_status(store_dir: PathLike) -> Optional[Dict]:
+def read_status(
+    store_dir: PathLike, attempts: int = 3, _sleep=time.sleep
+) -> Optional[Dict]:
     """The last published heartbeat, or ``None`` if there has never been
-    one (or the file is unreadable — atomic replacement means that only
-    happens for a store no sweep has touched)."""
-    try:
-        return json.loads(status_path(store_dir).read_text())
-    except (OSError, json.JSONDecodeError):
-        return None
+    one (or the file stays unreadable).
+
+    ``os.replace`` is atomic, but not every filesystem that reaches a
+    store directory behaves like a local POSIX one (NFS renames, overlay
+    mounts, Windows shares can expose a transient window where the path
+    is briefly missing or the open races the replace).  A watcher
+    (``repro status --watch``, the HTTP endpoint) polling exactly inside
+    that window would misreport a live sweep as having no status — so a
+    failed read is retried ``attempts`` times with a short pause before
+    giving up.  A store no sweep has ever touched still returns ``None``
+    (after the retries; the pause is milliseconds)."""
+    path = status_path(store_dir)
+    for attempt in range(max(1, attempts)):
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            if attempt + 1 < max(1, attempts):
+                _sleep(0.02 * (attempt + 1))
+    return None
 
 
 def validate_status(doc: Dict) -> List[str]:

@@ -1,0 +1,233 @@
+"""Deterministic in-process harness for fabric tests.
+
+Runs a real :class:`~repro.fabric.FabricCoordinator` (its own asyncio
+loop on a background thread, bound to an ephemeral localhost port) and
+real :class:`~repro.fabric.FabricWorker` loops on threads, talking over
+actual sockets — so the tests exercise the genuine wire path — while
+keeping every failure injection deterministic and in-process:
+
+* :func:`crash_on_lease` — the worker thread dies while holding a lease
+  (heartbeats stop, the lease expires server-side): the dead-worker
+  scenario without killing the test process.
+* :func:`abandon_leases` — the worker silently forgets its first N
+  leases but keeps working: a partitioned/slow worker forcing lease
+  expiry and re-lease.
+* Scripted protocol clients (:class:`~repro.fabric.FabricClient`
+  directly) for duplicate completions, stale leases, and out-of-order
+  replies.
+
+Accounting helpers read the shared store's ``journal.jsonl`` — the same
+artifact an operator would grep — to assert lease-exactly-once, and
+``store_object_bytes`` snapshots the ``objects/`` tree for byte-identity
+checks against single-process sweeps.
+"""
+
+import asyncio
+import threading
+
+from repro.fabric import FabricCoordinator, FabricWorker, WorkerAbandoned
+from repro.fabric import protocol
+from repro.store import ResultStore
+
+
+class WorkerCrashed(Exception):
+    """Harness-injected worker death (never caught by the worker loop)."""
+
+
+def crash_on_lease(after: int = 0):
+    """A ``lease_hook`` that kills the worker on its ``after+1``-th lease.
+
+    Raises :class:`WorkerCrashed`, which the worker loop does *not*
+    handle — the run() call unwinds, the heartbeat thread stops, and the
+    coordinator sees exactly what a dead process looks like: silence.
+    """
+    state = {"leases": 0}
+
+    def hook(worker, lease):
+        state["leases"] += 1
+        if state["leases"] > after:
+            raise WorkerCrashed(
+                f"{worker.worker_id} crashed holding {lease['lease_id']}"
+            )
+
+    return hook
+
+
+def abandon_leases(count: int = 1):
+    """A ``lease_hook`` that silently drops the first ``count`` leases.
+
+    The worker neither completes nor fails them (WorkerAbandoned is the
+    worker-loop-internal skip signal) and then behaves normally — the
+    abandoned cells come back via TTL expiry.
+    """
+    state = {"dropped": 0}
+
+    def hook(worker, lease):
+        if state["dropped"] < count:
+            state["dropped"] += 1
+            raise WorkerAbandoned(lease["lease_id"])
+
+    return hook
+
+
+class CoordinatorThread:
+    """A FabricCoordinator driven by a private event loop on a thread.
+
+    Context manager: ``with CoordinatorThread(...) as coord:`` yields the
+    harness with the server bound and the campaign live; exit stops the
+    loop (journaling ``aborted`` if the campaign never finished).
+    """
+
+    def __init__(self, scale, tasks, store_dir, **kwargs):
+        kwargs.setdefault("status_interval", 0.05)
+        self.coordinator = FabricCoordinator(scale, tasks, store_dir, **kwargs)
+        self._loop = None
+        self._ready = threading.Event()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run, name="fabric-coordinator", daemon=True
+        )
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.coordinator.start())
+        except Exception as exc:  # surface bind/scan failures to start()
+            self._startup_error = exc
+            self._ready.set()
+            self._loop.close()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+            self._loop.run_until_complete(self.coordinator.stop())
+        finally:
+            self._loop.close()
+
+    def start(self) -> "CoordinatorThread":
+        self._thread.start()
+        assert self._ready.wait(10), "coordinator failed to start in 10s"
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    @property
+    def address(self) -> str:
+        return self.coordinator.address
+
+    def wait(self, timeout: float = 180.0) -> None:
+        assert self.coordinator.completed_event.wait(
+            timeout
+        ), f"campaign did not complete within {timeout}s: {self.coordinator.summary()}"
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "CoordinatorThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class WorkerThread:
+    """One FabricWorker.run() on a thread, capturing result or exception."""
+
+    def __init__(self, worker: FabricWorker):
+        self.worker = worker
+        self.summary = None
+        self.error = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"fabric-{worker.worker_id}", daemon=True
+        )
+
+    def _run(self):
+        try:
+            self.summary = self.worker.run()
+        except Exception as exc:  # includes injected WorkerCrashed
+            self.error = exc
+
+    def start(self) -> "WorkerThread":
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float = 60.0) -> "WorkerThread":
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), f"{self.worker.worker_id} did not exit"
+        return self
+
+
+def start_workers(address, scratch_root, specs) -> list:
+    """Spawn one WorkerThread per spec dict (kwargs for FabricWorker)."""
+    threads = []
+    for i, spec in enumerate(specs):
+        spec = dict(spec)
+        worker_id = spec.pop("worker_id", f"w{i}")
+        worker = FabricWorker(
+            worker_id, address, scratch_root / f"scratch-{worker_id}", **spec
+        )
+        threads.append(WorkerThread(worker).start())
+    return threads
+
+
+# -- journal accounting ----------------------------------------------------
+
+
+def journal(store_dir):
+    return ResultStore(store_dir).journal_entries()
+
+
+def lease_accounting(entries):
+    """Per-lease event counts: lease_id → {leased, completed, key}.
+
+    The exactly-once property is stated over these: every lease_id is
+    granted exactly once and acknowledged with at most one accepted
+    completion; every done cell has exactly one accepted completion
+    across all its leases.
+    """
+    leases = {}
+    for entry in entries:
+        event = entry.get("event")
+        if event == protocol.EV_LEASE:
+            record = leases.setdefault(
+                entry["lease_id"], {"leased": 0, "completed": 0, "key": entry["key"]}
+            )
+            record["leased"] += 1
+        elif event == protocol.EV_COMPLETE:
+            record = leases.setdefault(
+                entry["lease_id"], {"leased": 0, "completed": 0, "key": entry["key"]}
+            )
+            record["completed"] += 1
+    return leases
+
+
+def assert_exactly_once(entries, done_keys):
+    """Lease-exactly-once over a journal: see :func:`lease_accounting`."""
+    leases = lease_accounting(entries)
+    for lease_id, record in leases.items():
+        assert record["leased"] == 1, f"{lease_id} granted {record['leased']} times"
+        assert record["completed"] <= 1, f"{lease_id} completed twice"
+    completes_per_key = {}
+    for record in leases.values():
+        completes_per_key[record["key"]] = (
+            completes_per_key.get(record["key"], 0) + record["completed"]
+        )
+    for key in done_keys:
+        assert (
+            completes_per_key.get(key, 0) == 1
+        ), f"cell {key[:12]} accepted {completes_per_key.get(key, 0)} completions"
+
+
+def store_object_bytes(root):
+    """``objects/`` tree as {relative path: bytes} for byte-identity checks.
+
+    Deliberately excludes ``journal.jsonl`` and ``status.json`` — those
+    carry wall-clock timestamps and execution history, which legitimately
+    differ between a fabric run and a single-process run.  The *results*
+    must not.
+    """
+    objects = sorted(root.glob("objects/**/*.json"))
+    return {p.relative_to(root).as_posix(): p.read_bytes() for p in objects}

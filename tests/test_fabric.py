@@ -1,0 +1,431 @@
+"""Distributed sweep fabric: coordinator, workers, and the wire protocol.
+
+The acceptance story (ISSUE 9): a fabric sweep — coordinator plus
+several workers, one of which crashes mid-campaign and one of which
+abandons a lease — produces a merged store byte-identical to a
+single-process ``run_grid_resumable`` over the same grid, with no cell
+accepted more than once per lease (proven from the journal), and a
+status document that stays schema-valid throughout the churn.
+
+Everything runs over real localhost sockets via the deterministic
+harness in :mod:`tests.fabric_harness`; protocol edge cases (duplicate
+completions, stale leases, corrupt payloads, out-of-order replies) are
+driven by scripted :class:`~repro.fabric.FabricClient` calls.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import RetryPolicy
+from repro.experiments.parallel import grid_store_keys, run_grid_resumable
+from repro.experiments.runner import Runner
+from repro.fabric import (
+    FabricClient,
+    FabricProtocolError,
+    FabricWorker,
+    protocol,
+    validate_documents,
+)
+from repro.obs.status import read_status, validate_status
+from repro.resilience.faults import FaultInjected
+from repro.store import ResultStore
+from repro.store.fingerprint import checksum
+from tests.fabric_harness import (
+    CoordinatorThread,
+    WorkerCrashed,
+    abandon_leases,
+    assert_exactly_once,
+    crash_on_lease,
+    journal,
+    lease_accounting,
+    start_workers,
+    store_object_bytes,
+)
+from tests.test_store_resume import TINY, tiny_tasks
+
+FAST = RetryPolicy(retries=2, backoff_base=0.05)
+
+
+def fake_document(lease, value=None):
+    """A checksum-valid store document for protocol-level tests."""
+    value = value if value is not None else {"speedup": 1.0, "label": lease["label"]}
+    return {
+        "key": lease["key"],
+        "value": value,
+        "meta": {"kind": "competitive", "label": lease["label"]},
+        "checksum": checksum(value),
+    }
+
+
+def wait_for(predicate, timeout=10.0, interval=0.02, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestFabricEndToEnd:
+    def test_crash_and_expiry_still_byte_identical(self, tmp_path):
+        """The flagship: 4 workers (one crashes holding a lease, one
+        abandons its first lease), short TTL — the merged store matches a
+        single-process sweep byte-for-byte, each cell's result accepted
+        exactly once, status schema-valid under churn."""
+        tasks = tiny_tasks()
+        reference = tmp_path / "ref"
+        run_grid_resumable(TINY, tasks, store_dir=str(reference), max_workers=1)
+
+        fabric = tmp_path / "fab"
+        with CoordinatorThread(
+            TINY, tasks, fabric, ttl=1.0, tick=0.02, retry=FAST
+        ) as coord:
+            workers = start_workers(
+                coord.address,
+                tmp_path,
+                [
+                    {"worker_id": "crashy", "lease_hook": crash_on_lease(0), "poll": 0.05},
+                    {"worker_id": "flaky", "lease_hook": abandon_leases(1), "poll": 0.05},
+                    {"worker_id": "w1", "poll": 0.05},
+                    {"worker_id": "w2", "poll": 0.05},
+                ],
+            )
+            # Poll /status through the churn; every document must validate.
+            client = FabricClient(coord.address)
+            seen_docs = []
+            while not coord.coordinator.completed_event.wait(0.05):
+                seen_docs.append(client.get("/status"))
+            coord.wait()
+            for thread in workers:
+                thread.join()
+            summary = coord.coordinator.summary()
+
+        crashed = next(t for t in workers if t.worker.worker_id == "crashy")
+        assert isinstance(crashed.error, WorkerCrashed)
+        assert summary["state"] == "complete"
+        assert summary["completed"] == 4 and summary["failed"] == 0
+
+        assert seen_docs, "status endpoint was never polled"
+        for doc in seen_docs:
+            assert validate_status(doc) == []
+        final = read_status(fabric)
+        assert validate_status(final) == [] and final["state"] == "complete"
+
+        entries = journal(fabric)
+        expiries = [e for e in entries if e["event"] == protocol.EV_EXPIRE]
+        assert len(expiries) >= 2  # the crashed lease and the abandoned one
+        assert_exactly_once(entries, set(grid_store_keys(TINY, tasks)))
+
+        assert store_object_bytes(reference) == store_object_bytes(fabric)
+
+    def test_warm_store_completes_without_workers(self, tmp_path):
+        tasks = tiny_tasks()[:2]
+        store = tmp_path / "store"
+        run_grid_resumable(TINY, tasks, store_dir=str(store), max_workers=1)
+        with CoordinatorThread(TINY, tasks, store) as coord:
+            coord.wait(timeout=10)
+            summary = coord.coordinator.summary()
+        assert summary == {
+            "state": "complete",
+            "total": 2,
+            "completed": 2,
+            "hits": 2,
+            "misses": 0,
+            "failed": 0,
+            "workers": [],
+        }
+        # No lease was ever granted for warm cells.
+        assert lease_accounting(journal(store)) == {}
+
+    def test_duplicate_tasks_collapse_to_one_lease(self, tmp_path):
+        tasks = tiny_tasks()[:1] * 3  # same fingerprint three times
+        with CoordinatorThread(TINY, tasks, tmp_path / "s", ttl=30.0) as coord:
+            assert len(coord.coordinator.cells) == 1
+            client = FabricClient(coord.address)
+            lease = client.post("/lease", {"worker": "script"})["lease"]
+            # The one group is leased; a second worker gets "empty", not
+            # the same fingerprint twice.
+            assert client.post("/lease", {"worker": "other"}).get("empty")
+            reply = client.post(
+                "/complete",
+                {
+                    "worker": "script",
+                    "lease_id": lease["lease_id"],
+                    "key": lease["key"],
+                    "documents": [fake_document(lease)],
+                },
+            )
+            assert reply["accepted"]
+            coord.wait(timeout=10)
+            entries = journal(tmp_path / "s")
+        assert_exactly_once(entries, {lease["key"]})
+
+
+class TestLeaseProtocol:
+    def test_duplicate_completion_rejected(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(TINY, tasks, tmp_path / "s", ttl=30.0) as coord:
+            client = FabricClient(coord.address)
+            lease = client.post("/lease", {"worker": "script"})["lease"]
+            body = {
+                "worker": "script",
+                "lease_id": lease["lease_id"],
+                "key": lease["key"],
+                "documents": [fake_document(lease)],
+            }
+            first = client.post("/complete", body)
+            assert first["accepted"] and lease["key"] in first["stored"]
+            second = client.post("/complete", body)
+            assert not second["accepted"]
+            assert second["reason"] == protocol.REJECT_DONE
+            coord.wait(timeout=10)
+            entries = journal(tmp_path / "s")
+        completes = [e for e in entries if e["event"] == protocol.EV_COMPLETE]
+        rejects = [e for e in entries if e["event"] == protocol.EV_REJECT]
+        assert len(completes) == 1
+        assert [e["reason"] for e in rejects] == [protocol.REJECT_DONE]
+
+    def test_expired_lease_is_stale_and_cell_is_releasable(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(
+            TINY,
+            tasks,
+            tmp_path / "s",
+            ttl=0.2,
+            tick=0.02,
+            retry=RetryPolicy(retries=2, backoff_base=0.0),
+        ) as coord:
+            client = FabricClient(coord.address)
+            lease = client.post("/lease", {"worker": "script"})["lease"]
+            wait_for(
+                lambda: any(
+                    e["event"] == protocol.EV_EXPIRE for e in journal(tmp_path / "s")
+                ),
+                message="lease expiry",
+            )
+            # Out-of-order reply after expiry: rejected as stale.
+            stale = client.post(
+                "/complete",
+                {
+                    "worker": "script",
+                    "lease_id": lease["lease_id"],
+                    "key": lease["key"],
+                    "documents": [fake_document(lease)],
+                },
+            )
+            assert not stale["accepted"]
+            assert stale["reason"] == protocol.REJECT_STALE
+            # A heartbeat for the dead lease reports it lost.
+            beat = client.post(
+                "/heartbeat", {"worker": "script", "lease_ids": [lease["lease_id"]]}
+            )
+            assert beat == {"renewed": [], "lost": [lease["lease_id"]]}
+            # The cell re-entered the queue: second lease, attempt 2.
+            release = client.post("/lease", {"worker": "script"})["lease"]
+            assert release["key"] == lease["key"]
+            assert release["attempt"] == 2
+            assert release["lease_id"] != lease["lease_id"]
+            done = client.post(
+                "/complete",
+                {
+                    "worker": "script",
+                    "lease_id": release["lease_id"],
+                    "key": release["key"],
+                    "documents": [fake_document(release)],
+                },
+            )
+            assert done["accepted"]
+            coord.wait(timeout=10)
+            entries = journal(tmp_path / "s")
+        assert_exactly_once(entries, {lease["key"]})
+
+    def test_unknown_cell_and_malformed_requests(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(TINY, tasks, tmp_path / "s", ttl=30.0) as coord:
+            client = FabricClient(coord.address)
+            reply = client.post(
+                "/complete",
+                {"worker": "w", "lease_id": "L?", "key": "nope", "documents": []},
+            )
+            assert reply["reason"] == protocol.REJECT_UNKNOWN_CELL
+            with pytest.raises(FabricProtocolError):
+                client.post("/lease", {})  # no worker id -> 400
+            with pytest.raises(FabricProtocolError):
+                client.get("/nope")  # unknown endpoint -> 404
+
+    def test_corrupt_payload_blames_lease_then_quarantines(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(
+            TINY,
+            tasks,
+            tmp_path / "s",
+            ttl=30.0,
+            retry=RetryPolicy(retries=1, backoff_base=0.0),
+        ) as coord:
+            client = FabricClient(coord.address)
+            for attempt, expected_reason in (
+                (1, protocol.REJECT_CORRUPT),
+                (2, protocol.REJECT_MISSING),
+            ):
+                lease = client.post("/lease", {"worker": "evil"})["lease"]
+                assert lease["attempt"] == attempt
+                if expected_reason == protocol.REJECT_CORRUPT:
+                    doc = fake_document(lease)
+                    doc["checksum"] = "0" * 64  # corrupted in flight
+                else:
+                    doc = fake_document(lease)
+                    doc["key"] = "some-other-cell"  # cell's own doc missing
+                reply = client.post(
+                    "/complete",
+                    {
+                        "worker": "evil",
+                        "lease_id": lease["lease_id"],
+                        "key": lease["key"],
+                        "documents": [doc],
+                    },
+                )
+                assert not reply["accepted"]
+                assert reply["reason"] == expected_reason
+            # retries=1 exhausted -> quarantined, campaign completes.
+            coord.wait(timeout=10)
+            summary = coord.coordinator.summary()
+            assert summary["state"] == "complete" and summary["failed"] == 1
+            final = read_status(tmp_path / "s")
+        assert validate_status(final) == []
+        assert len(final["quarantined"]) == 1
+        # Nothing was ever stored for the poisoned cell.
+        assert ResultStore(tmp_path / "s").get(lease["key"]) is None
+
+    def test_fatal_fail_quarantines_immediately(self, tmp_path):
+        tasks = tiny_tasks()[:2]
+        with CoordinatorThread(TINY, tasks, tmp_path / "s", ttl=30.0) as coord:
+            client = FabricClient(coord.address)
+            first = client.post("/lease", {"worker": "script"})["lease"]
+            reply = client.post(
+                "/fail",
+                {
+                    "worker": "script",
+                    "lease_id": first["lease_id"],
+                    "key": first["key"],
+                    "kind": "stall",
+                    "message": "livelock watchdog fired",
+                    "attempts": 1,
+                },
+            )
+            assert reply["accepted"]
+            second = client.post("/lease", {"worker": "script"})["lease"]
+            assert second["key"] != first["key"]  # quarantined, not re-leased
+            client.post(
+                "/complete",
+                {
+                    "worker": "script",
+                    "lease_id": second["lease_id"],
+                    "key": second["key"],
+                    "documents": [fake_document(second)],
+                },
+            )
+            coord.wait(timeout=10)
+            summary = coord.coordinator.summary()
+            failures = list(coord.coordinator.failures)
+        assert summary["failed"] == 1 and summary["completed"] == 1
+        assert failures[0]["kind"] == "stall"
+        events = [e["event"] for e in journal(tmp_path / "s")]
+        assert protocol.EV_FAIL in events and "quarantine" in events
+
+
+class TestWorker:
+    def test_handshake_refuses_code_mismatch(self, tmp_path, monkeypatch):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(TINY, tasks, tmp_path / "s") as coord:
+            monkeypatch.setattr(
+                "repro.fabric.worker.code_version", lambda: "somebody-else"
+            )
+            worker = FabricWorker("w", coord.address, tmp_path / "scratch")
+            with pytest.raises(FabricProtocolError, match="code version mismatch"):
+                worker.run()
+
+    def test_handshake_refuses_schema_mismatch(self, tmp_path, monkeypatch):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(TINY, tasks, tmp_path / "s") as coord:
+            monkeypatch.setattr("repro.fabric.worker.FABRIC_SCHEMA", 999)
+            worker = FabricWorker("w", coord.address, tmp_path / "scratch")
+            with pytest.raises(FabricProtocolError, match="schema mismatch"):
+                worker.run()
+
+    def test_worker_retries_transient_failures_locally(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+
+        class _Flaky:
+            """Fails the first attempt, then delegates to a real Runner."""
+
+            def __init__(self, scale, store):
+                self.inner = Runner(scale, store=store)
+                self.failures_left = 1
+
+            def competitive(self, *args, **kwargs):
+                if self.failures_left:
+                    self.failures_left -= 1
+                    raise FaultInjected("injected transient failure")
+                return self.inner.competitive(*args, **kwargs)
+
+        with CoordinatorThread(TINY, tasks, tmp_path / "s", ttl=30.0) as coord:
+            worker = FabricWorker(
+                "w",
+                coord.address,
+                tmp_path / "scratch",
+                retry=RetryPolicy(retries=2, backoff_base=0.0),
+                runner_factory=lambda scale, store: _Flaky(scale, store),
+            )
+            summary = worker.run()
+            coord.wait(timeout=10)
+            key = coord.coordinator.cells[0].key
+            stored = ResultStore(tmp_path / "s").get(key, kind="competitive")
+        assert summary["completed"] == 1 and summary["failed"] == 0
+        assert summary["leases"] == 1  # retried inside the lease, not via re-lease
+        assert stored is not None and stored["gpu_speedup"] > 0
+
+    def test_worker_reports_deterministic_failures(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+
+        class _Broken:
+            def __init__(self, scale, store):
+                pass
+
+            def competitive(self, *args, **kwargs):
+                raise ValueError("bad cell configuration")
+
+        with CoordinatorThread(TINY, tasks, tmp_path / "s", ttl=30.0) as coord:
+            worker = FabricWorker(
+                "w",
+                coord.address,
+                tmp_path / "scratch",
+                retry=RetryPolicy(retries=2, backoff_base=0.0),
+                runner_factory=lambda scale, store: _Broken(scale, store),
+            )
+            summary = worker.run()
+            coord.wait(timeout=10)
+            failures = list(coord.coordinator.failures)
+        assert summary["failed"] == 1 and summary["completed"] == 0
+        assert failures[0]["kind"] == "config"  # ValueError -> no retries burned
+
+
+class TestProtocolUnits:
+    def test_validate_documents_catches_corruption(self):
+        good = {
+            "key": "k1",
+            "value": {"a": 1},
+            "meta": {"kind": "competitive"},
+            "checksum": checksum({"a": 1}),
+        }
+        assert validate_documents([good]) == []
+        assert validate_documents([]) != []
+        assert validate_documents("nope") != []
+        bad = dict(good, checksum="deadbeef")
+        assert any("checksum" in e for e in validate_documents([bad]))
+        assert any(".key" in e for e in validate_documents([{"value": 1}]))
+
+    def test_task_round_trip(self):
+        task = tiny_tasks()[0]
+        rebuilt = protocol.task_from_fields(protocol.lease_task_fields(task))
+        assert rebuilt == task

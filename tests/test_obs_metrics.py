@@ -237,6 +237,31 @@ class TestStatusPublisher:
     def test_read_status_missing(self, tmp_path):
         assert read_status(tmp_path / "never") is None
 
+    def test_read_status_retries_through_replace_window(self, tmp_path):
+        """Regression: a reader racing the atomic replace (file briefly
+        missing or torn on non-POSIX filesystems) must retry, not
+        misreport a live sweep as statusless."""
+        from repro.obs.status import status_path
+
+        good = StatusPublisher(tmp_path / "donor", total_cells=1).document()
+        path = status_path(tmp_path)
+        path.parent.mkdir(exist_ok=True)
+        path.write_text('{"torn": ')  # half-written document
+
+        def heal(_delay):
+            path.write_text(json.dumps(good))
+
+        doc = read_status(tmp_path, attempts=3, _sleep=heal)
+        assert doc is not None and validate_status(doc) == []
+
+    def test_read_status_gives_up_after_attempts(self, tmp_path):
+        from repro.obs.status import status_path
+
+        status_path(tmp_path).write_text("{never json")
+        sleeps = []
+        assert read_status(tmp_path, attempts=3, _sleep=sleeps.append) is None
+        assert len(sleeps) == 2  # attempts - 1 pauses, then give up
+
 
 # ---------------------------------------------------------------------------
 # StatusServer endpoints
@@ -361,6 +386,31 @@ class TestSweepHeartbeat:
         assert cli_main(["status", "--cache-dir", store_dir, "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert validate_status(doc) == []
+
+    def test_status_watch_tolerates_late_status(self, tmp_path, capsys):
+        """Regression: ``status --watch`` pointed at a store whose
+        status.json lands only after polling starts (or vanishes for a
+        poll during an atomic replace) keeps watching and exits cleanly
+        once the campaign shows a terminal state."""
+        import threading
+
+        from repro.obs.status import StatusPublisher, status_path
+
+        store_dir = str(tmp_path)
+        doc = StatusPublisher(tmp_path / "donor", total_cells=1).document()
+        doc["state"] = "complete"
+
+        timer = threading.Timer(
+            0.15, lambda: status_path(store_dir).write_text(json.dumps(doc))
+        )
+        timer.start()
+        try:
+            assert cli_main(
+                ["status", "--cache-dir", store_dir, "--watch", "--interval", "0.03"]
+            ) == 0
+        finally:
+            timer.cancel()
+        assert "[complete]" in capsys.readouterr().out
 
     def test_sweep_serve_status_requires_cache_dir(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,168 @@
+"""`repro.obs.server` under load and at the edges.
+
+Thread-safety smoke (concurrent /status + /metrics + /journal readers
+against a registry being mutated by a live publisher), /journal bounds,
+and the friendly port-in-use failure (``PortInUseError``) both at the
+server layer and through ``repro sweep --serve-status``.
+"""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import MetricsRegistry, StatusPublisher, validate_status
+from repro.obs.server import JOURNAL_LIMIT, PortInUseError, StatusServer
+from repro.store import ResultStore
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode()
+
+
+class TestConcurrentReads:
+    def test_readers_race_a_mutating_registry(self, tmp_path):
+        """3 reader threads × all endpoints while a publisher mutates the
+        registry and rewrites status.json: every response parses, every
+        status document validates, nothing 500s."""
+        registry = MetricsRegistry()
+        publisher = StatusPublisher(
+            tmp_path, total_cells=10_000, interval=0.0, registry=registry
+        )
+        store = ResultStore(tmp_path)
+        for i in range(5):
+            store.log_event("put", key=f"k{i}", label=f"cell-{i}")
+
+        stop = threading.Event()
+        mutator_error = []
+
+        def mutate():
+            try:
+                while not stop.is_set():
+                    publisher.record_completion(hit=False)
+                    publisher.record_in_flight(
+                        [{"label": "cell-x", "attempts": 1, "seconds": 0.1}]
+                    )
+            except Exception as exc:  # pragma: no cover - the assertion
+                mutator_error.append(exc)
+
+        errors = []
+
+        def read(server_url):
+            try:
+                for _ in range(30):
+                    status, body = _get(server_url + "/status")
+                    assert status == 200
+                    assert validate_status(json.loads(body)) == []
+                    status, body = _get(server_url + "/metrics")
+                    assert status == 200 and "sweep_cells_completed" in body
+                    status, body = _get(server_url + "/journal?n=3")
+                    assert status == 200 and len(json.loads(body)) == 3
+            except Exception as exc:
+                errors.append(exc)
+
+        with StatusServer(tmp_path, port=0, registry=registry) as server:
+            mutator = threading.Thread(target=mutate, daemon=True)
+            readers = [
+                threading.Thread(target=read, args=(server.url,), daemon=True)
+                for _ in range(3)
+            ]
+            mutator.start()
+            for reader in readers:
+                reader.start()
+            for reader in readers:
+                reader.join(timeout=30)
+                assert not reader.is_alive()
+            stop.set()
+            mutator.join(timeout=5)
+        assert errors == []
+        assert mutator_error == []
+
+
+class TestJournalBounds:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(4):
+            store.log_event("put", key=f"k{i}")
+        with StatusServer(tmp_path, port=0) as server:
+            yield server
+
+    def test_n_zero_returns_empty_list(self, server):
+        status, body = _get(server.url + "/journal?n=0")
+        assert status == 200 and json.loads(body) == []
+
+    def test_n_past_journal_length_returns_everything(self, server):
+        status, body = _get(server.url + f"/journal?n={JOURNAL_LIMIT + 999}")
+        assert status == 200
+        events = json.loads(body)
+        assert [e["key"] for e in events] == ["k0", "k1", "k2", "k3"]
+
+    def test_negative_n_clamps_to_empty(self, server):
+        status, body = _get(server.url + "/journal?n=-7")
+        assert status == 200 and json.loads(body) == []
+
+    def test_non_integer_n_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(server.url + "/journal?n=loads", timeout=5)
+        assert info.value.code == 400
+        assert "integer" in json.loads(info.value.read().decode())["error"]
+
+
+class TestPortInUse:
+    def test_port_in_use_raises_named_error(self, tmp_path):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            with pytest.raises(PortInUseError) as info:
+                StatusServer(tmp_path, port=port)
+            message = str(info.value)
+            assert str(port) in message and "already in use" in message
+            assert info.value.port == port
+            # Still an OSError, so pre-existing handlers keep working.
+            assert isinstance(info.value, OSError)
+        finally:
+            blocker.close()
+
+    def test_free_port_still_binds(self, tmp_path):
+        with StatusServer(tmp_path, port=0) as server:
+            assert server.port > 0  # happy path unchanged by the guard
+
+    def test_sweep_cli_reports_port_not_traceback(self, tmp_path):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            with pytest.raises(SystemExit) as info:
+                cli_main(
+                    [
+                        "sweep",
+                        "--gpus", "G17", "--pims", "P1",
+                        "--policies", "FR-FCFS", "--vcs", "1",
+                        "--cache-dir", str(tmp_path / "store"),
+                        "--serve-status", str(port),
+                    ]
+                )
+            assert str(port) in str(info.value)
+        finally:
+            blocker.close()
+
+    def test_sweep_cli_serves_on_free_port(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--gpus", "G17", "--pims", "P2",
+            "--policies", "FR-FCFS", "--vcs", "1",
+            "--scale", "0.05", "--channels", "4",
+            "--cache-dir", str(tmp_path / "store"),
+            "--serve-status", "0",
+        ]
+        assert cli_main(argv) == 0
+        assert "status endpoint: http://" in capsys.readouterr().err

@@ -7,6 +7,7 @@ fault-free — produces a merged table byte-identical to a clean run.
 """
 
 import json
+import time
 
 import pytest
 
@@ -27,6 +28,7 @@ from repro.experiments.parallel import (
     task_store_key,
 )
 from repro.resilience import FaultInjected, FaultPlan, FaultSpec, Supervisor
+from repro.resilience import faults as fault_injection
 from repro.resilience.faults import corrupt_store_object
 from repro.store import ResultStore
 from tests.test_store_resume import TINY, table_bytes, tiny_tasks
@@ -256,6 +258,93 @@ class TestFaultySweepEndToEnd:
             run_sweep(TINY, tasks, store_dir=store_dir, max_workers=2, abort_after=2)
         resumed = run_sweep(TINY, tasks, store_dir=store_dir, max_workers=2)
         assert resumed.hits >= 2
+
+
+def _install_plan(payload):
+    # Pool initializer (module-level for pickling): arm the fault plan.
+    fault_injection.install(FaultPlan.from_payload(payload))
+
+
+def _fault_driven(label):
+    # Worker fn: behave per the installed plan's schedule for this label.
+    plan_ = fault_injection.active()
+    kind = plan_.claim(label) if plan_ is not None else None
+    if kind == "hang":
+        time.sleep(plan_.hang_seconds)
+    elif kind == "error":
+        raise FaultInjected(f"transient {label}")
+    elif kind == "crash":
+        fault_injection.crash_worker()
+    return f"ok:{label}"
+
+
+class TestHeartbeatQuarantineInteraction:
+    """A hanging cell must be visible in-flight, then quarantined — and
+    never heartbeat again once quarantined.
+
+    Property-style: the invariant is asserted over the supervisor's full
+    interleaved heartbeat/quarantine timeline for several deterministic
+    fault schedules, not one hand-picked trace.
+    """
+
+    SCHEDULES = [
+        {"b": FaultSpec("hang", times=-1)},
+        {"a": FaultSpec("hang", times=-1), "c": FaultSpec("error", times=1)},
+        {"b": FaultSpec("hang", times=-1), "d": FaultSpec("hang", times=-1)},
+        {"c": FaultSpec("hang", times=-1), "a": FaultSpec("crash", times=-1)},
+    ]
+
+    @pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: "+".join(sorted(s)))
+    def test_in_flight_then_quarantined_never_both(self, tmp_path, schedule):
+        fault_plan = plan(tmp_path, schedule, hang_seconds=30.0)
+        timeline = []  # ordered ("hb", labels) / ("q", label) events
+        supervisor = Supervisor(
+            _fault_driven,
+            max_workers=2,
+            cell_timeout=0.5,
+            retry=RetryPolicy(retries=1, backoff_base=0.0),
+            tick=0.02,
+            initializer=_install_plan,
+            initargs=(fault_plan.to_payload(),),
+        )
+        supervisor.on_heartbeat = lambda cells: timeline.append(
+            ("hb", tuple(sorted(c["label"] for c in cells)))
+        )
+        supervisor.on_quarantine = lambda failure: timeline.append(
+            ("q", failure.label)
+        )
+        results = {}
+        supervisor.run(list("abcd"), lambda i, r: results.__setitem__(i, r))
+
+        poisoned = {
+            label for label, spec in schedule.items()
+            if spec.kind in ("hang", "crash") and spec.times == -1
+        }
+        assert {f.label for f in supervisor.failures} == poisoned
+        for failure in supervisor.failures:
+            if schedule[failure.label].kind == "hang":
+                assert failure.kind == "timeout"
+
+        # The invariant: once a label is quarantined, no later heartbeat
+        # snapshot may contain it ("in flight" and "quarantined" are
+        # mutually exclusive, in that order).
+        dead = set()
+        seen_in_flight = set()
+        for event, payload in timeline:
+            if event == "q":
+                dead.add(payload)
+            else:
+                overlap = set(payload) & dead
+                assert not overlap, f"{overlap} heartbeating after quarantine"
+                seen_in_flight.update(payload)
+
+        # Every hanging cell was observably in flight before it died —
+        # the heartbeat is how an operator sees the hang happening.
+        hangs = {l for l, spec in schedule.items() if spec.kind == "hang"}
+        assert hangs <= seen_in_flight
+
+        # Healthy cells (including the healed transient) all completed.
+        assert {r.split(":")[1] for r in results.values()} == set("abcd") - poisoned
 
 
 class TestSerialQuarantine:
