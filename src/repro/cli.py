@@ -561,12 +561,20 @@ def cmd_fabric_serve(args) -> int:
         port=args.port,
         ttl=args.ttl,
         retry=retry,
+        token=args.token,
+        resume_grace=args.resume_grace,
     )
 
     def announce(coord) -> None:
+        recovered = (
+            f"; recovered from {coord.recoveries} prior session(s), "
+            f"epoch {coord.epoch}"
+            if coord.recoveries
+            else ""
+        )
         print(
             f"fabric coordinator on http://{coord.address} — "
-            f"{len(coord.cells)} cells ({coord.hits} already warm); "
+            f"{len(coord.cells)} cells ({coord.hits} already warm){recovered}; "
             f"join with: repro fabric work --connect {coord.address}",
             file=sys.stderr,
         )
@@ -577,6 +585,7 @@ def cmd_fabric_serve(args) -> int:
         f"cells ({summary['hits']} cache hits, {summary['misses']} simulated"
         + (f", {summary['failed']} failed" if summary["failed"] else "")
         + f") via {len(summary['workers'])} worker(s)"
+        + (" [drained]" if summary["drained"] else "")
     )
     for failure in coordinator.failures:
         print(
@@ -585,7 +594,9 @@ def cmd_fabric_serve(args) -> int:
             file=sys.stderr,
         )
     if summary["state"] != "complete":
-        return 1
+        # A graceful drain (SIGTERM / POST /drain) is a clean exit: the
+        # ledger lets the next `fabric serve` resume the remainder.
+        return 0 if summary["drained"] else 1
     if summary["failed"] and args.strict:
         print(f"FAIL: {summary['failed']} cell(s) quarantined (--strict)", file=sys.stderr)
         return 2
@@ -609,6 +620,7 @@ def cmd_fabric_work(args) -> int:
         args.connect,
         scratch,
         retry=retry,
+        token=args.token,
         crash_after_lease=args.crash_after_lease,
         watchdog_window=args.watchdog,
     )
@@ -621,7 +633,59 @@ def cmd_fabric_work(args) -> int:
         f"{summary['leases']} leases"
         + (f", {summary['rejected']} rejected" if summary["rejected"] else "")
         + (f", {summary['failed']} failed" if summary["failed"] else "")
+        + (f", {summary['reconnects']} reconnects" if summary["reconnects"] else "")
+        + (f", {summary['readopted']} readopted" if summary["readopted"] else "")
     )
+    return 0
+
+
+def cmd_fabric_ledger(args) -> int:
+    """Inspect a coordinator's write-ahead ledger (operator runbook aid)."""
+    import json
+    from pathlib import Path
+
+    from repro.fabric import LEDGER_FILENAME, LedgerCorrupt, ledger_summary
+
+    path = Path(args.cache_dir) / LEDGER_FILENAME
+    try:
+        summary = ledger_summary(path)
+    except LedgerCorrupt as exc:
+        print(
+            f"CORRUPT: {exc}\n"
+            f"  (a torn final line would have been repaired automatically; "
+            f"damage before the tail means records were lost — do not resume "
+            f"from this ledger)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not summary["records"]:
+        print(f"no ledger at {path}")
+        return 0
+    cells = ", ".join(f"{n} {s}" for s, n in sorted(summary["cells"].items()))
+    print(
+        f"ledger {path}: epoch {summary['epoch']}, "
+        f"{summary['sessions']} session(s), {summary['records']} records"
+        + (" [torn tail repaired on next open]" if summary["torn_tail"] else "")
+    )
+    print(
+        f"  cells: {cells or 'none'};  rejects: {summary['rejects']};  "
+        f"closed: {summary['closed'] or 'no (in flight or killed)'}"
+        + (";  draining" if summary["draining"] else "")
+    )
+    for lease in summary["in_flight"]:
+        print(
+            f"  in-flight: {lease['label']} held by {lease['worker']} "
+            f"({lease['lease_id']}, epoch {lease['epoch']}, "
+            f"attempt {lease['attempt']})"
+        )
+    for failure in summary["quarantined"]:
+        print(
+            f"  quarantined: {failure['label']} ({failure['kind']} "
+            f"after {failure['attempts']} attempt(s))"
+        )
     return 0
 
 
@@ -985,6 +1049,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 2 if any cell was quarantined",
     )
+    serve.add_argument(
+        "--token",
+        default=os.environ.get("REPRO_FABRIC_TOKEN") or None,
+        help="shared secret required on every fabric request "
+        "(default: $REPRO_FABRIC_TOKEN)",
+    )
+    serve.add_argument(
+        "--resume-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="how long recovered in-flight leases wait to be re-presented "
+        "via /resume before expiring (default: the lease TTL)",
+    )
     _add_scale_args(serve)
     serve.set_defaults(func=cmd_fabric_serve)
 
@@ -1029,7 +1107,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="testing: hard-exit while holding the (N+1)th lease "
         "(0 = die on the first cell; exercises lease expiry)",
     )
+    work.add_argument(
+        "--token",
+        default=os.environ.get("REPRO_FABRIC_TOKEN") or None,
+        help="shared secret presented on every fabric request "
+        "(default: $REPRO_FABRIC_TOKEN)",
+    )
     work.set_defaults(func=cmd_fabric_work)
+
+    ledger = fabric_sub.add_parser(
+        "ledger",
+        help="inspect a coordinator's write-ahead lease ledger",
+    )
+    ledger.add_argument(
+        "--cache-dir", required=True, help="result-store root directory"
+    )
+    ledger.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full ledger summary as JSON",
+    )
+    ledger.set_defaults(func=cmd_fabric_ledger)
 
     store = sub.add_parser("store", help="inspect the content-addressed result store")
     store.add_argument("action", choices=("ls", "gc", "verify"))

@@ -9,14 +9,30 @@ status/metrics surface aggregated across workers) and any number of
 A fabric sweep and a single-process ``run_grid_resumable`` sweep over
 the same grid leave byte-identical stores behind.
 
-CLI: ``repro fabric serve`` / ``repro fabric work --connect HOST:PORT``.
-Protocol and state machine: ``docs/fabric.md``.
+The coordinator is durable: every lease-state decision is written ahead
+to a checksummed ledger (:class:`FabricLedger`), so a killed coordinator
+restarts with exact in-flight state under a bumped fencing epoch, and
+surviving workers reconnect and re-present their leases rather than
+dying on disconnect.
+
+CLI: ``repro fabric serve`` / ``repro fabric work --connect HOST:PORT``
+/ ``repro fabric ledger``.  Protocol, state machine, and recovery
+semantics: ``docs/fabric.md``.
 """
 
 from repro.fabric.coordinator import FabricCoordinator, group_tasks, run_campaign
+from repro.fabric.ledger import (
+    LEDGER_FILENAME,
+    FabricLedger,
+    LedgerCorrupt,
+    LedgerState,
+    ledger_summary,
+)
 from repro.fabric.protocol import (
     DEFAULT_TTL,
     FABRIC_SCHEMA,
+    TOKEN_ENV,
+    TOKEN_HEADER,
     FabricConnectionError,
     FabricError,
     FabricProtocolError,
@@ -33,15 +49,22 @@ from repro.fabric.worker import (
 __all__ = [
     "DEFAULT_TTL",
     "FABRIC_SCHEMA",
+    "LEDGER_FILENAME",
+    "TOKEN_ENV",
+    "TOKEN_HEADER",
     "FabricClient",
     "FabricConnectionError",
     "FabricCoordinator",
     "FabricError",
+    "FabricLedger",
     "FabricProtocolError",
     "FabricWorker",
+    "LedgerCorrupt",
+    "LedgerState",
     "WorkerAbandoned",
     "group_tasks",
     "lease_task_fields",
+    "ledger_summary",
     "run_campaign",
     "task_from_fields",
     "validate_documents",

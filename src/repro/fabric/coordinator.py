@@ -52,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import signal
 import threading
 import time
 from dataclasses import asdict, dataclass
@@ -60,10 +61,13 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.experiments.parallel import GridTask, grid_store_keys
 from repro.experiments.runner import ExperimentScale
+from repro.fabric import ledger as wal
 from repro.fabric import protocol
+from repro.fabric.ledger import LEDGER_FILENAME, FabricLedger, LedgerState
 from repro.fabric.protocol import (
     DEFAULT_TTL,
     FABRIC_SCHEMA,
+    TOKEN_HEADER,
     lease_task_fields,
     validate_documents,
 )
@@ -72,7 +76,13 @@ from repro.obs.status import StatusPublisher
 from repro.resilience.supervisor import FATAL_KINDS, RetryPolicy
 from repro.store import ResultStore, code_version
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 503: "Service Unavailable"}
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    503: "Service Unavailable",
+}
 
 #: How long a worker should wait before re-polling /lease when everything
 #: runnable is currently leased or backing off.
@@ -86,6 +96,7 @@ class _Lease:
     attempt: int
     granted: float  # coordinator clock (monotonic)
     deadline: float
+    epoch: int = 1  # fencing epoch the grant (or last re-adoption) was made under
 
 
 @dataclass
@@ -139,10 +150,15 @@ class FabricCoordinator:
         tick: float = 0.05,
         status_interval: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
+        token: Optional[str] = None,
+        resume_grace: Optional[float] = None,
         clock=time.monotonic,
+        wall_clock=time.time,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"lease ttl must be positive (got {ttl})")
+        if resume_grace is not None and resume_grace < 0:
+            raise ValueError(f"resume grace must be >= 0 (got {resume_grace})")
         self.scale = scale
         self.tasks = list(tasks)
         self.store = ResultStore(store_dir)
@@ -153,8 +169,14 @@ class FabricCoordinator:
         self.tick = tick
         self.status_interval = status_interval
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.token = token
+        #: How long a recovered in-flight lease waits for its worker to
+        #: re-present it via /resume before it expires like a dead one.
+        self.resume_grace = ttl if resume_grace is None else resume_grace
         self._clock = clock
+        self._wall = wall_clock
         self.code = code_version()
+        self.ledger = FabricLedger(self.store.root / LEDGER_FILENAME)
 
         self.cells = group_tasks(scale, self.tasks)
         self._by_key = {group.key: group for group in self.cells}
@@ -163,6 +185,10 @@ class FabricCoordinator:
         self.failures: List[Dict] = []
         self.workers: Dict[str, float] = {}  # worker id -> last seen (clock)
         self.state = "running"
+        self.epoch = 1
+        self.recoveries = 0
+        self.draining = False
+        self.drained = False
         self._lease_seq = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._ticker: Optional[asyncio.Task] = None
@@ -173,26 +199,108 @@ class FabricCoordinator:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the port, absorb warm store hits, start the expiry ticker."""
+        """Replay the ledger, bind the port, absorb warm store hits,
+        start the expiry ticker.
+
+        A first run opens epoch 1 on a fresh ledger; a restart replays
+        the write-ahead ledger (raising
+        :class:`~repro.fabric.ledger.LedgerCorrupt` on damage — never a
+        silent wrong state), bumps the fencing epoch, and restores retry
+        counts, backoff deadlines, the quarantine roster, and in-flight
+        leases (which get ``resume_grace`` to be re-presented by their
+        surviving workers before expiring like dead ones).
+        """
         self._done_async = asyncio.Event()
+        replayed = self.ledger.replay()
+        self.epoch = replayed.epoch + 1
+        self.recoveries = replayed.opens
+        self._lease_seq = replayed.lease_seq
         self.publisher = StatusPublisher(
             self.store.root,
             total_cells=len(self.cells),
             max_workers=0,
             interval=self.status_interval,
             registry=self.registry,
+            recoveries=self.recoveries,
+            epoch=self.epoch,
         )
+        self.ledger.append(
+            wal.OP_OPEN, epoch=self.epoch, code=self.code, cells=len(self.cells)
+        )
+        recovered = self._apply_replay(replayed)
         for group in self.cells:
+            if group.state in ("done", "failed"):
+                continue
             if self.store.get(group.key, kind="competitive") is not None:
                 group.state = "done"
+                group.lease = None
                 group.hit = True
                 self.hits += 1
                 self.publisher.record_completion(hit=True)
+        if self.recoveries:
+            self._journal(
+                protocol.EV_RECOVER,
+                epoch=self.epoch,
+                torn_tail=replayed.torn_tail,
+                **recovered,
+            )
         self._server = await asyncio.start_server(
             self._handle_client, host=self.host, port=self._requested_port
         )
         self._ticker = asyncio.get_running_loop().create_task(self._tick_loop())
         self._check_complete()
+
+    def _apply_replay(self, replayed: LedgerState) -> Dict[str, int]:
+        """Restore campaign state from a replayed ledger (pre warm-scan).
+
+        Completed cells are *not* marked here: a ``complete`` record is
+        only ever appended after the store puts landed, so the ordinary
+        warm-store scan right after this re-discovers them (and heals the
+        put-then-crash window where the record itself never landed).
+        """
+        now = self._clock()
+        wall = self._wall()
+        counts = {"leased": 0, "pending": 0, "quarantined": 0, "unknown": 0}
+        for failure in replayed.failures:
+            group = self._by_key.get(failure.get("key"))
+            if group is None:
+                counts["unknown"] += 1
+                continue
+            group.state = "failed"
+            restored = {
+                "index": failure.get("index", group.indices[0]),
+                "label": failure.get("label") or group.task.label,
+                "kind": failure.get("kind", "error"),
+                "message": failure.get("message", ""),
+                "attempts": failure.get("attempts", 0),
+            }
+            self.failures.append(restored)
+            self.publisher.record_quarantine(restored)
+            counts["quarantined"] += 1
+        for key, cell in replayed.cells.items():
+            group = self._by_key.get(key)
+            if group is None:
+                if cell.state != "failed":  # failed ones counted above
+                    counts["unknown"] += 1
+                continue
+            if group.state == "failed":
+                continue
+            group.attempts = max(group.attempts, cell.attempts)
+            if cell.state == "leased":
+                group.state = "leased"
+                group.lease = _Lease(
+                    lease_id=cell.lease_id or "?",
+                    worker=cell.worker or "?",
+                    attempt=cell.lease_attempt or cell.attempts,
+                    granted=now,
+                    deadline=now + self.resume_grace,
+                    epoch=cell.lease_epoch,
+                )
+                counts["leased"] += 1
+            elif cell.state == "pending" and cell.attempts:
+                group.not_before = now + max(0.0, cell.not_before_wall - wall)
+                counts["pending"] += 1
+        return counts
 
     @property
     def port(self) -> int:
@@ -220,6 +328,45 @@ class FabricCoordinator:
             self._server = None
         if self.state == "running":
             self._finalize("aborted")
+        self.ledger.close()
+
+    async def abandon(self) -> None:
+        """Tear down *without* finalizing — the test harness's SIGKILL
+        stand-in.  No ``close`` ledger record, no ``aborted`` journal
+        line: exactly the state a killed coordinator leaves behind, so
+        recovery tests exercise the real replay path."""
+        if self._ticker is not None:
+            self._ticker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ticker
+            self._ticker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.ledger.close()
+
+    def begin_drain(self, source: str = "request") -> None:
+        """Graceful shutdown: stop granting, let in-flight leases finish.
+
+        Idempotent.  New ``/lease`` calls get ``{"draining": true}``;
+        heartbeats and completions keep working.  Once nothing is leased
+        the campaign finalizes (``complete`` if everything landed,
+        ``aborted`` otherwise — the ledger lets a later coordinator
+        resume the remainder) and ``completed_event`` fires so
+        :func:`run_campaign` exits 0.
+        """
+        if self.draining or self.state != "running":
+            return
+        self.ledger.append(wal.OP_DRAIN, epoch=self.epoch, source=source)
+        self.draining = True
+        self._journal(
+            protocol.EV_DRAIN,
+            epoch=self.epoch,
+            source=source,
+            leased=sum(1 for g in self.cells if g.state == "leased"),
+        )
+        self._check_complete()
 
     def summary(self) -> Dict:
         """Campaign roll-up (cells are fingerprint-unique units of work)."""
@@ -232,6 +379,9 @@ class FabricCoordinator:
             "misses": self.misses,
             "failed": len(self.failures),
             "workers": sorted(self.workers),
+            "epoch": self.epoch,
+            "recoveries": self.recoveries,
+            "drained": self.drained,
         }
 
     # -- campaign state machine --------------------------------------------
@@ -240,8 +390,6 @@ class FabricCoordinator:
         self.store.log_event(event, **fields)
 
     def _quarantine(self, group: _CellGroup, kind: str, message: str) -> None:
-        group.state = "failed"
-        group.lease = None
         failure = {
             "index": group.indices[0],
             "label": group.task.label,
@@ -249,6 +397,9 @@ class FabricCoordinator:
             "message": message,
             "attempts": group.attempts,
         }
+        self.ledger.append(wal.OP_QUARANTINE, epoch=self.epoch, key=group.key, **failure)
+        group.state = "failed"
+        group.lease = None
         self.failures.append(failure)
         self._journal("quarantine", **failure)
         self.publisher.record_quarantine(failure)
@@ -256,19 +407,28 @@ class FabricCoordinator:
 
     def _blame(self, group: _CellGroup, kind: str, message: str) -> None:
         """One failure attempt: requeue with backoff or quarantine."""
-        group.lease = None
         if kind in FATAL_KINDS or group.attempts > self.retry.retries:
             self._quarantine(group, kind, message)
             return
-        group.state = "pending"
-        group.not_before = self._clock() + self.retry.delay(
-            group.task.label, group.attempts
+        delay = self.retry.delay(group.task.label, group.attempts)
+        self.ledger.append(
+            wal.OP_RETRY,
+            epoch=self.epoch,
+            key=group.key,
+            kind=kind,
+            attempts=group.attempts,
+            not_before_wall=self._wall() + delay,
         )
+        group.lease = None
+        group.state = "pending"
+        group.not_before = self._clock() + delay
         self.publisher.record_retry(
             {"kind": "retry", "label": group.task.label, "failure": kind}
         )
+        self._check_complete()
 
     def _finalize(self, state: str) -> None:
+        self.ledger.append(wal.OP_CLOSE, epoch=self.epoch, state=state)
         self.state = state
         self.publisher.finish("complete" if state == "complete" else "aborted")
         self._journal(
@@ -286,10 +446,17 @@ class FabricCoordinator:
         self.completed_event.set()
 
     def _check_complete(self) -> None:
-        if self.state == "running" and all(
-            group.state in ("done", "failed") for group in self.cells
-        ):
+        if self.state != "running":
+            return
+        if all(group.state in ("done", "failed") for group in self.cells):
+            self.drained = self.drained or self.draining
             self._finalize("complete")
+            return
+        if self.draining and not any(g.state == "leased" for g in self.cells):
+            # Drain finished with work left over: the ledger keeps the
+            # retry/quarantine history, a restart resumes the remainder.
+            self.drained = True
+            self._finalize("aborted")
 
     async def _tick_loop(self) -> None:
         """Expire overdue leases and refresh the in-flight heartbeat view."""
@@ -307,13 +474,20 @@ class FabricCoordinator:
                     worker=lease.worker,
                     lease_id=lease.lease_id,
                 )
-                self._blame(
-                    group,
-                    "expired",
-                    f"lease {lease.lease_id} expired after {self.ttl:g}s "
-                    f"(worker {lease.worker} stopped heartbeating)",
-                )
+                if lease.epoch != self.epoch:
+                    message = (
+                        f"lease {lease.lease_id} from epoch {lease.epoch} was "
+                        f"not re-presented within {self.resume_grace:g}s of "
+                        f"coordinator recovery (worker {lease.worker})"
+                    )
+                else:
+                    message = (
+                        f"lease {lease.lease_id} expired after {self.ttl:g}s "
+                        f"(worker {lease.worker} stopped heartbeating)"
+                    )
+                self._blame(group, "expired", message)
             self._publish_in_flight(now)
+            self._check_complete()
 
     def _publish_in_flight(self, now: float) -> None:
         self.publisher.max_workers = max(len(self.workers), 1)
@@ -338,6 +512,8 @@ class FabricCoordinator:
             "code": self.code,
             "scale": asdict(self.scale),
             "ttl": self.ttl,
+            "epoch": self.epoch,
+            "draining": self.draining,
             "cells": {"total": len(self.cells), "tasks": len(self.tasks)},
         }
 
@@ -349,6 +525,8 @@ class FabricCoordinator:
         self.workers[worker] = now
         if self.state != "running":
             return 200, {"done": True, "summary": self.summary()}
+        if self.draining:
+            return 200, {"draining": True, "retry_after": EMPTY_RETRY_AFTER}
         eligible = None
         for group in self.cells:
             if group.state == "pending" and group.not_before <= now:
@@ -358,14 +536,26 @@ class FabricCoordinator:
             if all(group.state in ("done", "failed") for group in self.cells):
                 return 200, {"done": True, "summary": self.summary()}
             return 200, {"empty": True, "retry_after": EMPTY_RETRY_AFTER}
+        lease_id = f"L{self._lease_seq + 1:05d}-{eligible.key[:8]}"
+        self.ledger.append(
+            wal.OP_LEASE,
+            epoch=self.epoch,
+            lease_seq=self._lease_seq + 1,
+            key=eligible.key,
+            label=eligible.task.label,
+            lease_id=lease_id,
+            worker=worker,
+            attempt=eligible.attempts + 1,
+        )
         eligible.attempts += 1
         self._lease_seq += 1
         lease = _Lease(
-            lease_id=f"L{self._lease_seq:05d}-{eligible.key[:8]}",
+            lease_id=lease_id,
             worker=worker,
             attempt=eligible.attempts,
             granted=now,
             deadline=now + self.ttl,
+            epoch=self.epoch,
         )
         eligible.state = "leased"
         eligible.lease = lease
@@ -376,6 +566,7 @@ class FabricCoordinator:
             worker=worker,
             lease_id=lease.lease_id,
             attempt=lease.attempt,
+            epoch=self.epoch,
         )
         self._publish_in_flight(now)
         return 200, {
@@ -385,6 +576,7 @@ class FabricCoordinator:
                 "label": eligible.task.label,
                 "ttl": self.ttl,
                 "attempt": lease.attempt,
+                "epoch": self.epoch,
                 "task": lease_task_fields(eligible.task),
             }
         }
@@ -402,21 +594,31 @@ class FabricCoordinator:
             for group in self.cells
             if group.state == "leased"
         }
+        body_epoch = body.get("epoch")
         for lease_id in lease_ids:
             group = live.get(lease_id)
-            if group is not None and group.lease.worker == worker:
+            if (
+                group is not None
+                and group.lease.worker == worker
+                and group.lease.epoch == self.epoch
+                and body_epoch == self.epoch
+            ):
                 group.lease.deadline = now + self.ttl
                 renewed.append(lease_id)
             else:
+                # Pre-restart-epoch leases renew only after /resume
+                # re-adopts them; reporting them lost is what sends the
+                # surviving worker down the resume path.
                 lost.append(lease_id)
-        return 200, {"renewed": renewed, "lost": lost}
+        return 200, {"renewed": renewed, "lost": lost, "epoch": self.epoch}
 
     def _resolve_lease(self, body: Dict):
         """Common /complete + /fail lease validation.
 
-        Returns ``(group, None)`` for a live, matching lease or
-        ``(group_or_None, reject_reason)`` otherwise — journaling the
-        rejection, which is how stale/duplicate replies show up in the
+        Returns ``(group, None)`` for a live, matching lease *at the
+        current fencing epoch* or ``(group_or_None, reject_reason)``
+        otherwise — journaling (and write-ahead-logging) the rejection,
+        which is how stale/duplicate/fenced replies show up in the
         exactly-once accounting.
         """
         key = body.get("key")
@@ -427,14 +629,29 @@ class FabricCoordinator:
             reason = protocol.REJECT_UNKNOWN_CELL
         elif group.state == "done":
             reason = protocol.REJECT_DONE
+        elif body.get("epoch") != self.epoch:
+            # The worker's view of the coordinator predates a restart:
+            # fence it out deterministically, whatever lease it names.
+            reason = protocol.REJECT_STALE_EPOCH
         elif (
             group.state != "leased"
             or group.lease.lease_id != lease_id
             or group.lease.worker != worker
         ):
             reason = protocol.REJECT_STALE
+        elif group.lease.epoch != self.epoch:
+            # The lease itself was granted pre-restart and never
+            # re-presented via /resume — a zombie cannot double-complete.
+            reason = protocol.REJECT_STALE_EPOCH
         else:
             return group, None
+        self.ledger.append(
+            wal.OP_REJECT,
+            epoch=self.epoch,
+            key=key if isinstance(key, str) else "?",
+            lease_id=lease_id if isinstance(lease_id, str) else "?",
+            reason=reason,
+        )
         self._journal(
             protocol.EV_REJECT,
             key=key if isinstance(key, str) else "?",
@@ -459,6 +676,13 @@ class FabricCoordinator:
             # A structurally bad payload blames the lease like a failure:
             # re-leasing a cell to a worker that keeps shipping garbage
             # must converge to quarantine, not loop forever.
+            self.ledger.append(
+                wal.OP_REJECT,
+                epoch=self.epoch,
+                key=group.key,
+                lease_id=group.lease.lease_id,
+                reason=reason,
+            )
             self._journal(
                 protocol.EV_REJECT,
                 key=group.key,
@@ -474,6 +698,16 @@ class FabricCoordinator:
         for doc in documents:
             self.store.put(doc["key"], doc["value"], meta=doc["meta"])
             stored.append(doc["key"])
+        # Puts land before the ledger record: a "complete" in the WAL is
+        # always store-backed, and a crash in between is healed by the
+        # warm-store scan on restart.
+        self.ledger.append(
+            wal.OP_COMPLETE,
+            epoch=self.epoch,
+            key=group.key,
+            lease_id=lease.lease_id,
+            worker=lease.worker,
+        )
         group.state = "done"
         group.lease = None
         self.misses += 1
@@ -517,6 +751,69 @@ class FabricCoordinator:
             self._blame(group, kind, message)
         return 200, {"accepted": True}
 
+    def _handle_resume(self, body: Dict) -> Tuple[int, Dict]:
+        """Session resume: a reconnected worker re-presents held leases.
+
+        Each live lease that still matches (same lease_id, same worker,
+        cell still leased) is re-adopted at the *current* epoch with a
+        fresh TTL — the only way a pre-restart grant becomes completable
+        again.  Everything else the worker must abandon: the cell was
+        re-leased, completed, or expired while it was away.
+        """
+        worker = body.get("worker")
+        held = body.get("held")
+        if not isinstance(worker, str) or not worker or not isinstance(held, list):
+            return 400, {"error": "resume must carry worker and held leases"}
+        now = self._clock()
+        self.workers[worker] = now
+        readopted, abandon = [], []
+        for item in held:
+            lease_id = item.get("lease_id") if isinstance(item, dict) else None
+            key = item.get("key") if isinstance(item, dict) else None
+            group = self._by_key.get(key) if isinstance(key, str) else None
+            lease = group.lease if group is not None and group.state == "leased" else None
+            if (
+                lease is None
+                or lease.lease_id != lease_id
+                or lease.worker != worker
+            ):
+                abandon.append(lease_id if isinstance(lease_id, str) else "?")
+                continue
+            if lease.epoch != self.epoch:
+                self.ledger.append(
+                    wal.OP_READOPT,
+                    epoch=self.epoch,
+                    key=group.key,
+                    lease_id=lease.lease_id,
+                    worker=worker,
+                )
+                self._journal(
+                    protocol.EV_READOPT,
+                    key=group.key,
+                    label=group.task.label,
+                    worker=worker,
+                    lease_id=lease.lease_id,
+                    epoch=self.epoch,
+                )
+                lease.epoch = self.epoch
+            lease.deadline = now + self.ttl
+            readopted.append(
+                {
+                    "lease_id": lease.lease_id,
+                    "key": group.key,
+                    "epoch": self.epoch,
+                    "ttl": self.ttl,
+                }
+            )
+        return 200, {"epoch": self.epoch, "readopted": readopted, "abandon": abandon}
+
+    def _handle_drain(self) -> Tuple[int, Dict]:
+        self.begin_drain("request")
+        return 200, {
+            "draining": True,
+            "leased": sum(1 for g in self.cells if g.state == "leased"),
+        }
+
     def _handle_status(self) -> Tuple[int, Dict]:
         return 200, self.publisher.document()
 
@@ -531,9 +828,27 @@ class FabricCoordinator:
         # [-0:] would be the whole journal, not none of it.
         return 200, self.store.journal_entries()[-count:] if count else []
 
-    def _dispatch(self, method: str, target: str, body: Dict) -> Tuple[int, object, str]:
+    def _dispatch(
+        self, method: str, target: str, body: Dict, headers: Optional[Dict] = None
+    ) -> Tuple[int, object, str]:
         parsed = urlparse(target)
         path, query = parsed.path, parse_qs(parsed.query)
+        if self.token:
+            presented = (headers or {}).get(TOKEN_HEADER.lower())
+            if presented != self.token:
+                detail = "presented no token" if not presented else "presented a different token"
+                return (
+                    401,
+                    {
+                        "error": (
+                            f"fabric token mismatch: coordinator requires a shared "
+                            f"secret and the client {detail} (set "
+                            f"{protocol.TOKEN_ENV} or pass --token)"
+                        ),
+                        "reason": protocol.REJECT_UNAUTHORIZED,
+                    },
+                    "application/json",
+                )
         if method == "GET":
             if path == "/grid":
                 return (*self._handle_grid(), "application/json")
@@ -556,6 +871,10 @@ class FabricCoordinator:
                 return (*self._handle_complete(body), "application/json")
             if path == "/fail":
                 return (*self._handle_fail(body), "application/json")
+            if path == "/resume":
+                return (*self._handle_resume(body), "application/json")
+            if path == "/drain":
+                return (*self._handle_drain(), "application/json")
         return 404, {"error": f"unknown endpoint {method} {path!r}"}, "application/json"
 
     # -- HTTP plumbing ------------------------------------------------------
@@ -570,11 +889,13 @@ class FabricCoordinator:
                 return
             method, target = parts[0].upper(), parts[1]
             length = 0
+            headers: Dict[str, str] = {}
             while True:
                 line = await asyncio.wait_for(reader.readline(), timeout=30)
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
                 if name.strip().lower() == "content-length":
                     length = int(value.strip())
             raw = await reader.readexactly(length) if length else b""
@@ -585,7 +906,7 @@ class FabricCoordinator:
             except (json.JSONDecodeError, ValueError) as exc:
                 status, payload, ctype = 400, {"error": f"bad request body: {exc}"}, "application/json"
             else:
-                status, payload, ctype = self._dispatch(method, target, body)
+                status, payload, ctype = self._dispatch(method, target, body, headers)
             blob = (
                 payload.encode()
                 if isinstance(payload, str)
@@ -624,13 +945,20 @@ def run_campaign(
 
     After the campaign completes the server lingers ``linger`` seconds so
     polling workers observe the ``done`` reply and exit cleanly, then the
-    server shuts down and the summary is returned.  A Ctrl-C lands in the
+    server shuts down and the summary is returned.  ``SIGTERM`` begins a
+    graceful drain (stop granting, finish in-flight, flush ledger +
+    final status) and the drained summary exits 0; a Ctrl-C lands in the
     ``finally`` — the store keeps every accepted cell and the journal
     gets an ``aborted`` summary, exactly like an interrupted sweep.
     """
 
     async def _main() -> None:
         await coordinator.start()
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(
+                signal.SIGTERM, coordinator.begin_drain, "SIGTERM"
+            )
         if announce is not None:
             announce(coordinator)
         try:
@@ -638,6 +966,8 @@ def run_campaign(
             if linger > 0:
                 await asyncio.sleep(linger)
         finally:
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.remove_signal_handler(signal.SIGTERM)
             await coordinator.stop()
 
     asyncio.run(_main())

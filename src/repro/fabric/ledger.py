@@ -1,0 +1,386 @@
+"""Write-ahead lease ledger: durable campaign state for the coordinator.
+
+The coordinator of :mod:`repro.fabric` used to be a single point of
+amnesia — a killed coordinator resumed *warm* from the content-addressed
+store (done cells complete instantly) but lost all in-flight lease
+history: retry counts, backoff deadlines, quarantine rosters, and which
+worker held which cell.  The ledger closes that gap.  Every decision
+that mutates campaign state — lease grant, re-adoption, completion,
+rejection, retry, quarantine, drain, close — is appended here *before*
+it takes effect, so a restarted coordinator replays the ledger and
+resumes the campaign exactly where it stopped.
+
+The file (``fabric_ledger.jsonl`` in the store root, next to
+``journal.jsonl``) reuses the store's durability idioms:
+
+* **Atomic appends.**  One ``os.write`` of one complete line per record
+  (plus ``fsync`` — this is a WAL, not an activity log), so a crash can
+  tear at most the final line, never interleave two records.
+* **Checksummed lines.**  Each record carries a ``check`` field — the
+  store's canonical-JSON checksum over the rest of the record — plus a
+  contiguous ``seq`` number.  Replay verifies both per line: a torn
+  *tail* (the only kind of damage a crash can cause) is truncated away
+  and replay resumes from the last whole record; damage anywhere else
+  (bit rot, hand-editing, a lost middle line) raises
+  :class:`LedgerCorrupt` naming the exact byte offset — never a silent
+  wrong state.
+
+**Fencing epochs.**  Each coordinator session appends an ``open`` record
+with a monotonically increasing epoch (last epoch + 1).  Lease grants
+carry the epoch they were made under; after a restart, replies for
+pre-restart grants are rejected ``stale-epoch`` until the worker
+re-presents the lease via ``POST /resume`` and has it re-adopted
+(``readopt`` record) at the recovered epoch.  That is what makes
+recovery zombie-safe: a worker that survived the crash cannot
+double-complete a cell the restarted coordinator re-leased.
+
+Record operations (fields beyond ``seq``/``op``/``epoch``/``check``)::
+
+    open        code, cells           new session, new epoch
+    lease       lease_seq, key, label, lease_id, worker, attempt
+    readopt     key, lease_id, worker      re-adopted at this epoch
+    complete    key, lease_id, worker      accepted; store puts landed first
+    reject      key, lease_id, reason      refused reply (no state change)
+    retry       key, kind, attempts, not_before_wall   requeued w/ backoff
+    quarantine  key, index, label, kind, message, attempts
+    drain       source                graceful shutdown began
+    close       state                 campaign finalized (complete/aborted)
+
+Backoff deadlines are persisted as *wall-clock* times (the coordinator's
+scheduling clock is monotonic and does not survive a restart); replay
+returns them as wall times and the coordinator converts the remaining
+delay onto its fresh monotonic clock.
+
+Store documents are deliberately **not** in the ledger: completions put
+their documents into the content-addressed store *before* the
+``complete`` record is appended, so a ledger that says "done" is always
+backed by store bytes, and a crash between the puts and the record is
+healed by the ordinary warm-store scan on restart (the cell replays as
+in-flight, the scan finds its object, it completes as a hit).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.store.fingerprint import checksum
+
+PathLike = Union[str, Path]
+
+#: Ledger file name inside the store root (next to ``journal.jsonl``).
+LEDGER_FILENAME = "fabric_ledger.jsonl"
+
+OP_OPEN = "open"
+OP_LEASE = "lease"
+OP_READOPT = "readopt"
+OP_COMPLETE = "complete"
+OP_REJECT = "reject"
+OP_RETRY = "retry"
+OP_QUARANTINE = "quarantine"
+OP_DRAIN = "drain"
+OP_CLOSE = "close"
+
+_OPS = frozenset(
+    (
+        OP_OPEN,
+        OP_LEASE,
+        OP_READOPT,
+        OP_COMPLETE,
+        OP_REJECT,
+        OP_RETRY,
+        OP_QUARANTINE,
+        OP_DRAIN,
+        OP_CLOSE,
+    )
+)
+
+
+class LedgerCorrupt(RuntimeError):
+    """The ledger is damaged somewhere replay cannot repair.
+
+    Only a *tail* line can legitimately be torn (a crash mid-append);
+    a parse/checksum failure before the tail, or a ``seq`` gap anywhere,
+    means records were lost or altered — resuming would silently drop
+    lease history, so replay refuses with this structured diagnostic
+    instead.  ``offset`` is the byte offset of the first bad line.
+    """
+
+    def __init__(self, path: Path, offset: int, line_no: int, reason: str) -> None:
+        self.path = Path(path)
+        self.offset = offset
+        self.line_no = line_no
+        self.reason = reason
+        super().__init__(
+            f"fabric ledger {self.path} corrupt at byte {offset} "
+            f"(line {line_no}): {reason}"
+        )
+
+
+@dataclass
+class LedgerCell:
+    """Replayed per-cell state (keyed by the cell's store fingerprint)."""
+
+    key: str
+    state: str = "pending"  # pending | leased | done | failed
+    attempts: int = 0
+    not_before_wall: float = 0.0  # wall-clock backoff deadline (0 = none)
+    lease_id: Optional[str] = None
+    worker: Optional[str] = None
+    lease_epoch: int = 0
+    lease_attempt: int = 0
+    label: str = ""
+
+
+@dataclass
+class LedgerState:
+    """Everything :meth:`FabricLedger.replay` recovers from disk."""
+
+    epoch: int = 0  # last opened epoch (0 = never opened)
+    opens: int = 0  # coordinator sessions recorded so far
+    records: int = 0  # whole records replayed
+    lease_seq: int = 0  # highest lease counter ever granted
+    cells: Dict[str, LedgerCell] = field(default_factory=dict)
+    failures: List[Dict] = field(default_factory=list)  # quarantine roster, in order
+    rejects: int = 0
+    closed: Optional[str] = None  # final state if the last session closed
+    draining: bool = False
+    torn_tail: bool = False  # a crash-torn final line was truncated away
+
+
+class FabricLedger:
+    """Appender + replayer for one campaign's write-ahead ledger.
+
+    Usage (the coordinator's startup sequence)::
+
+        ledger = FabricLedger(store_root / LEDGER_FILENAME)
+        state = ledger.replay()          # raises LedgerCorrupt on damage
+        epoch = state.epoch + 1
+        ledger.append(OP_OPEN, epoch=epoch, code=..., cells=...)
+
+    ``replay`` remembers where the last whole record ends; if the tail
+    was torn, the first ``append`` truncates the file back to that
+    boundary before writing, so the torn bytes can never corrupt later
+    records.  Every append is a single ``write`` + ``fsync`` — records
+    are rare (one per lease-state transition, not per heartbeat), so
+    WAL-grade durability costs nothing measurable.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._seq = 0
+        self._truncate_to: Optional[int] = None
+        self._needs_newline = False
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> LedgerState:
+        """Rebuild campaign state from disk (empty state if no file)."""
+        state = LedgerState()
+        self._seq = 0
+        self._truncate_to = None
+        self._needs_newline = False
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return state
+        pos = 0
+        line_no = 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            end = newline if newline != -1 else len(raw)
+            line = raw[pos:end]
+            line_no += 1
+            if not line.strip():
+                pos = end + 1
+                continue
+            record, problem, tearable = self._decode(line, self._seq + 1)
+            if record is None:
+                # Only a crash-torn *tail* is tolerated: the bad line must
+                # be the last (nothing but whitespace after it) AND look
+                # like a torn append (parse/checksum failure).  A
+                # well-formed final line with a seq gap can only mean
+                # records were lost — that is damage, not a crash.
+                tail = raw[end + 1 :] if newline != -1 else b""
+                if tail.strip() or not tearable:
+                    raise LedgerCorrupt(self.path, pos, line_no, problem)
+                state.torn_tail = True
+                self._truncate_to = pos
+                break
+            self._seq = record["seq"]
+            self._apply(state, record)
+            if newline == -1:
+                # Valid record but the trailing newline never landed;
+                # the next append must start on a fresh line.
+                self._needs_newline = True
+            pos = end + 1
+        return state
+
+    def _decode(self, line: bytes, expected_seq: int):
+        """Parse + verify one line.
+
+        Returns ``(record, None, _)`` on success or ``(None, reason,
+        crash_tearable)`` — ``crash_tearable`` is True only for failures
+        a torn append could produce (partial bytes: unparseable or
+        checksum-broken); a structurally sound record with a bad op,
+        seq, or epoch means the file was altered, never merely torn.
+        """
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return None, f"unparseable record: {exc}", True
+        if not isinstance(record, dict):
+            return None, "record must be a JSON object", True
+        body = dict(record)
+        check = body.pop("check", None)
+        try:
+            derived = checksum(body)
+        except TypeError as exc:
+            return None, f"unfingerprintable record: {exc}", True
+        if check != derived:
+            return None, "record checksum mismatch", True
+        if record.get("op") not in _OPS:
+            return None, f"unknown op {record.get('op')!r}", False
+        if record.get("seq") != expected_seq:
+            return None, (
+                f"sequence gap: expected seq {expected_seq}, "
+                f"found {record.get('seq')!r} — records were lost"
+            ), False
+        if not isinstance(record.get("epoch"), int) or record["epoch"] < 1:
+            return None, f"bad epoch {record.get('epoch')!r}", False
+        return record, None, False
+
+    @staticmethod
+    def _cell(state: LedgerState, record: Dict) -> LedgerCell:
+        key = record["key"]
+        cell = state.cells.get(key)
+        if cell is None:
+            cell = state.cells[key] = LedgerCell(key=key)
+        return cell
+
+    def _apply(self, state: LedgerState, record: Dict) -> None:
+        op = record["op"]
+        state.records += 1
+        if op == OP_OPEN:
+            state.epoch = record["epoch"]
+            state.opens += 1
+            state.closed = None
+            state.draining = False
+        elif op == OP_LEASE:
+            cell = self._cell(state, record)
+            cell.state = "leased"
+            cell.attempts = record.get("attempt", cell.attempts + 1)
+            cell.lease_id = record.get("lease_id")
+            cell.worker = record.get("worker")
+            cell.lease_epoch = record["epoch"]
+            cell.lease_attempt = record.get("attempt", cell.attempts)
+            cell.label = record.get("label", cell.label)
+            cell.not_before_wall = 0.0
+            state.lease_seq = max(state.lease_seq, record.get("lease_seq", 0))
+        elif op == OP_READOPT:
+            cell = self._cell(state, record)
+            cell.lease_epoch = record["epoch"]
+        elif op == OP_COMPLETE:
+            cell = self._cell(state, record)
+            cell.state = "done"
+            cell.lease_id = cell.worker = None
+        elif op == OP_RETRY:
+            cell = self._cell(state, record)
+            cell.state = "pending"
+            cell.attempts = record.get("attempts", cell.attempts)
+            cell.not_before_wall = float(record.get("not_before_wall", 0.0))
+            cell.lease_id = cell.worker = None
+        elif op == OP_QUARANTINE:
+            cell = self._cell(state, record)
+            cell.state = "failed"
+            cell.lease_id = cell.worker = None
+            state.failures.append(
+                {
+                    "key": record["key"],
+                    "index": record.get("index", 0),
+                    "label": record.get("label", ""),
+                    "kind": record.get("kind", "error"),
+                    "message": record.get("message", ""),
+                    "attempts": record.get("attempts", cell.attempts),
+                }
+            )
+        elif op == OP_REJECT:
+            state.rejects += 1
+        elif op == OP_DRAIN:
+            state.draining = True
+        elif op == OP_CLOSE:
+            state.closed = record.get("state")
+
+    # -- append ------------------------------------------------------------
+
+    def append(self, op: str, **fields) -> Dict:
+        """Durably append one record (WAL: call *before* mutating state)."""
+        if op not in _OPS:
+            raise ValueError(f"unknown ledger op {op!r}")
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            if self._truncate_to is not None:
+                # Drop the crash-torn tail before the first new record.
+                os.ftruncate(self._fd, self._truncate_to)
+                self._truncate_to = None
+                self._needs_newline = False
+        self._seq += 1
+        record = {"seq": self._seq, "op": op, **fields}
+        record["check"] = checksum(record)
+        data = json.dumps(record, sort_keys=True).encode() + b"\n"
+        if self._needs_newline:
+            data = b"\n" + data
+            self._needs_newline = False
+        os.write(self._fd, data)
+        os.fsync(self._fd)
+        return record
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+
+def ledger_summary(path: PathLike) -> Dict:
+    """Operator-facing roll-up of a ledger file (``repro fabric ledger``).
+
+    Raises :class:`LedgerCorrupt` (with the byte offset) on damage —
+    the CLI turns that into a non-zero exit and a pointer at the bad
+    line rather than a stack trace.
+    """
+    state = FabricLedger(path).replay()
+    by_state: Dict[str, int] = {}
+    for cell in state.cells.values():
+        by_state[cell.state] = by_state.get(cell.state, 0) + 1
+    return {
+        "path": str(path),
+        "epoch": state.epoch,
+        "sessions": state.opens,
+        "records": state.records,
+        "lease_seq": state.lease_seq,
+        "cells": by_state,
+        "in_flight": [
+            {
+                "key": cell.key,
+                "label": cell.label,
+                "worker": cell.worker,
+                "lease_id": cell.lease_id,
+                "epoch": cell.lease_epoch,
+                "attempt": cell.lease_attempt,
+            }
+            for cell in state.cells.values()
+            if cell.state == "leased"
+        ],
+        "quarantined": list(state.failures),
+        "rejects": state.rejects,
+        "closed": state.closed,
+        "draining": state.draining,
+        "torn_tail": state.torn_tail,
+    }

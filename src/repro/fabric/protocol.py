@@ -7,27 +7,50 @@ the resulting store documents back.  Endpoints (see ``docs/fabric.md``
 for the full state machine):
 
 * ``GET /grid`` — handshake: protocol schema, coordinator code version,
-  the :class:`~repro.experiments.runner.ExperimentScale` fields, the
+  the current **fencing epoch**, the
+  :class:`~repro.experiments.runner.ExperimentScale` fields, the
   lease TTL, and the cell totals.  Workers refuse to join a coordinator
   whose ``code`` differs from their own — a mixed-code fleet would
   compute fingerprints that never match the shared store.
 * ``POST /lease`` — ``{"worker": id}`` → one leased cell (task fields +
-  ``lease_id`` + TTL), ``{"empty": true}`` when everything runnable is
-  leased or backing off, or ``{"done": true}`` once the campaign ends.
-* ``POST /heartbeat`` — ``{"worker", "lease_ids"}`` renews lease
-  deadlines; the reply lists leases still ``renewed`` and those ``lost``
-  (expired and possibly re-leased elsewhere).
-* ``POST /complete`` — ``{"worker", "lease_id", "key", "documents",
-  "outcome"}``: the cell's store documents (each checksum-carrying, see
-  :func:`validate_documents`) plus the outcome fields.  Accepted exactly
-  once per live lease; stale, duplicate, or corrupt completions are
-  rejected with a reason and journaled.
-* ``POST /fail`` — ``{"worker", "lease_id", "key", "kind", "message",
-  "attempts"}``: the worker gave up on the cell after its local retries;
-  the coordinator quarantines it (``docs/resilience.md`` semantics).
+  ``lease_id`` + TTL + the grant's fencing ``epoch``), ``{"empty":
+  true}`` when everything runnable is leased or backing off,
+  ``{"draining": true}`` once the coordinator stops granting, or
+  ``{"done": true}`` once the campaign ends.
+* ``POST /heartbeat`` — ``{"worker", "epoch", "lease_ids"}`` renews
+  lease deadlines; the reply lists leases still ``renewed`` and those
+  ``lost`` (expired, re-leased elsewhere, or fenced behind a coordinator
+  restart) plus the coordinator's current ``epoch``.
+* ``POST /complete`` — ``{"worker", "lease_id", "key", "epoch",
+  "documents"}``: the cell's store documents (each checksum-carrying,
+  see :func:`validate_documents`).  Accepted exactly once per live
+  lease *at the current epoch*; stale, pre-restart-epoch, duplicate, or
+  corrupt completions are rejected with a reason and journaled.
+* ``POST /fail`` — ``{"worker", "lease_id", "key", "epoch", "kind",
+  "message", "attempts"}``: the worker gave up on the cell after its
+  local retries; the coordinator quarantines it
+  (``docs/resilience.md`` semantics).
+* ``POST /resume`` — ``{"worker", "held": [{"lease_id", "key"}]}``:
+  session resume after a reconnect.  The worker re-presents the leases
+  it still holds; the coordinator re-adopts each live, matching lease
+  at the *current* epoch (fresh TTL) and instructs abandonment of the
+  rest.  This is the only way a pre-restart lease becomes completable
+  again — without it, its replies stay fenced as ``stale-epoch``.
+* ``POST /drain`` — begin graceful shutdown: stop granting leases,
+  keep accepting heartbeats/completions for in-flight work, finalize
+  and flush the ledger once nothing is leased (``SIGTERM`` does the
+  same server-side).
 * ``GET /status`` / ``GET /metrics`` / ``GET /journal?n=N`` — the PR 8
   observability surface, aggregated across every worker (same schema as
   a single-process sweep's ``status.json`` / Prometheus exposition).
+
+Every state-changing decision is additionally written ahead to the
+coordinator's write-ahead ledger (:mod:`repro.fabric.ledger`) before it
+takes effect, which is what lets a restarted coordinator resume the
+campaign with exact in-flight state.  When a shared secret is configured
+(``REPRO_FABRIC_TOKEN`` / ``--token``), every endpoint requires the
+:data:`TOKEN_HEADER` header and replies ``401`` with reason
+``unauthorized`` on a mismatch.
 
 Journal event names below are what the exactly-once accounting in
 ``tests/test_fabric.py`` (and operators grepping ``journal.jsonl``) key
@@ -42,29 +65,43 @@ from typing import Dict, List
 from repro.store.fingerprint import checksum
 
 #: Protocol schema version; bumped on any wire-incompatible change.
-FABRIC_SCHEMA = 1
+#: 2: fencing epochs on grants/completions, /resume, /drain, token auth.
+FABRIC_SCHEMA = 2
 
 #: Default lease time-to-live (seconds).  A worker heartbeats at TTL/3,
 #: so one missed heartbeat never kills a healthy lease.
 DEFAULT_TTL = 30.0
 
+#: Shared-secret header checked on every endpoint when the coordinator
+#: was started with a token (``REPRO_FABRIC_TOKEN`` / ``--token``).
+TOKEN_HEADER = "X-Fabric-Token"
+
+#: Environment variable both sides read their shared secret from.
+TOKEN_ENV = "REPRO_FABRIC_TOKEN"
+
 # -- journal event names (store journal.jsonl) ---------------------------
 
-EV_LEASE = "fabric_lease"  # lease granted: {key, label, worker, lease_id, attempt}
+EV_LEASE = "fabric_lease"  # lease granted: {key, label, worker, lease_id, attempt, epoch}
 EV_COMPLETE = "fabric_complete"  # completion accepted: {key, label, worker, lease_id}
 EV_REJECT = "fabric_reject"  # completion/fail refused: {key, lease_id, reason}
 EV_EXPIRE = "fabric_expire"  # lease TTL ran out: {key, label, worker, lease_id}
 EV_FAIL = "fabric_fail"  # worker-reported failure: {key, lease_id, kind, message}
+EV_RECOVER = "fabric_recover"  # coordinator replayed its ledger: {epoch, ...counts}
+EV_READOPT = "fabric_readopt"  # pre-restart lease re-adopted: {key, lease_id, worker, epoch}
+EV_DRAIN = "fabric_drain"  # graceful shutdown began: {epoch, source, leased}
 
-#: Reasons a /complete or /fail can be refused.  ``stale-lease`` and
-#: ``already-complete`` are benign races (the work is simply discarded —
-#: cells are idempotent); ``corrupt-payload`` and ``missing-cell-document``
-#: blame the lease like a failure attempt.
+#: Reasons a /complete or /fail can be refused.  ``stale-lease``,
+#: ``stale-epoch``, and ``already-complete`` are benign races (the work
+#: is simply discarded — cells are idempotent); ``corrupt-payload`` and
+#: ``missing-cell-document`` blame the lease like a failure attempt;
+#: ``unauthorized`` is a shared-secret mismatch (HTTP 401).
 REJECT_STALE = "stale-lease"
 REJECT_DONE = "already-complete"
 REJECT_CORRUPT = "corrupt-payload"
 REJECT_MISSING = "missing-cell-document"
 REJECT_UNKNOWN_CELL = "unknown-cell"
+REJECT_STALE_EPOCH = "stale-epoch"
+REJECT_UNAUTHORIZED = "unauthorized"
 
 
 class FabricError(RuntimeError):

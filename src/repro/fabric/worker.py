@@ -26,6 +26,20 @@ Failure handling follows the PR 5 supervisor split: transient kinds
 (:data:`~repro.resilience.supervisor.FATAL_KINDS`) or exhausted retries
 are reported via ``POST /fail`` and quarantined by the coordinator.
 
+**Coordinator loss is survivable.**  A worker does not die on
+disconnect: every coordinator-facing call retries behind a capped
+exponential backoff (bounded by ``max_connect_failures``), and once the
+coordinator answers again the worker re-presents any lease it still
+holds via ``POST /resume`` — the restarted coordinator either re-adopts
+it at the recovered fencing epoch (the cell completes normally, no work
+lost) or instructs abandonment (the cell was re-leased or finished
+elsewhere; our documents stay pending and ride along later).  A
+``/complete`` rejected ``stale-epoch`` triggers the same resync and is
+retried exactly once at the new epoch.  The heartbeat thread likewise
+treats send failures as transient — it retries at ``ttl/12`` instead of
+silently letting the lease expire while the simulation keeps running —
+and a ``lost`` verdict on a held lease triggers the resume path.
+
 Test hooks: ``lease_hook`` lets the harness abandon a lease mid-flight
 (raise :class:`WorkerAbandoned` — the worker goes silent on that cell
 and the coordinator's TTL machinery takes over), ``crash_after_lease``
@@ -48,6 +62,8 @@ from repro.experiments.parallel import GridTask
 from repro.experiments.runner import ExperimentScale, Runner
 from repro.fabric.protocol import (
     FABRIC_SCHEMA,
+    REJECT_STALE_EPOCH,
+    TOKEN_HEADER,
     FabricConnectionError,
     FabricProtocolError,
     task_from_fields,
@@ -76,19 +92,24 @@ class FabricClient:
     failures raise :class:`~repro.fabric.protocol.FabricProtocolError`.
     """
 
-    def __init__(self, address: str, timeout: float = 10.0) -> None:
+    def __init__(
+        self, address: str, timeout: float = 10.0, token: Optional[str] = None
+    ) -> None:
         host, _, port = address.rpartition(":")
         if not host or not port.isdigit():
             raise ValueError(f"fabric address must be HOST:PORT (got {address!r})")
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.token = token
 
     def request(self, method: str, path: str, body: Optional[Dict] = None):
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = json.dumps(body).encode() if body is not None else None
             headers = {"Content-Type": "application/json"} if payload else {}
+            if self.token:
+                headers[TOKEN_HEADER] = self.token
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
@@ -97,6 +118,12 @@ class FabricClient:
                 raise FabricConnectionError(
                     f"coordinator {self.host}:{self.port} unreachable: {exc}"
                 ) from exc
+            if response.status == 401:
+                try:
+                    detail = json.loads(raw).get("error", "")
+                except (json.JSONDecodeError, AttributeError):
+                    detail = raw[:200].decode(errors="replace")
+                raise FabricProtocolError(f"{method} {path} -> 401: {detail}")
             if response.status >= 400:
                 raise FabricProtocolError(
                     f"{method} {path} -> {response.status}: {raw[:200].decode(errors='replace')}"
@@ -148,6 +175,7 @@ class FabricWorker:
         poll: float = 0.2,
         max_connect_failures: int = 25,
         heartbeat: bool = True,
+        token: Optional[str] = None,
         crash_after_lease: Optional[int] = None,
         lease_hook: Optional[Callable] = None,
         runner_factory: Optional[Callable] = None,
@@ -156,7 +184,7 @@ class FabricWorker:
         sleep=time.sleep,
     ) -> None:
         self.worker_id = worker_id
-        self.client = FabricClient(address)
+        self.client = FabricClient(address, token=token)
         self.scratch_dir = Path(scratch_dir)
         self.retry = retry or RetryPolicy()
         self.poll = poll
@@ -172,13 +200,18 @@ class FabricWorker:
         self.store: Optional[_RecordingStore] = None
         self.runner = None
         self.ttl = 10.0
+        self.epoch = 1  # coordinator fencing epoch we last observed
         self.leases_granted = 0
         self.completes_accepted = 0
         self.completes_rejected = 0
         self.fails_reported = 0
         self.abandoned = 0
+        self.reconnects = 0  # coordinator outages survived
+        self.readopted = 0  # leases re-adopted via /resume
+        self.heartbeat_retries = 0  # transient heartbeat send failures retried
         self._lease_lock = threading.Lock()
         self._current_lease_id: Optional[str] = None
+        self._current_key: Optional[str] = None
         self._stop_heartbeat = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
 
@@ -205,6 +238,7 @@ class FabricWorker:
                 f"this worker runs {ours!r} — refusing to join a mixed-code fleet"
             )
         self.ttl = float(grid.get("ttl", self.ttl))
+        self.epoch = int(grid.get("epoch", self.epoch))
         scale = ExperimentScale(**grid["scale"])
         self.store = _RecordingStore(self.scratch_dir)
         if self.runner_factory is not None:
@@ -222,22 +256,88 @@ class FabricWorker:
 
     def _heartbeat_loop(self) -> None:
         interval = max(self.ttl / 3.0, 0.02)
-        while not self._stop_heartbeat.wait(interval):
+        # A send failure is retried at ttl/12 — four more chances inside
+        # one TTL — instead of waiting out a full interval and silently
+        # letting the lease expire while the simulation keeps running.
+        retry_interval = max(self.ttl / 12.0, 0.01)
+        wait = interval
+        while not self._stop_heartbeat.wait(wait):
+            wait = interval
             with self._lease_lock:
                 lease_id = self._current_lease_id
             if lease_id is None:
                 continue
             try:
-                self.client.post(
+                reply = self.client.post(
                     "/heartbeat",
-                    {"worker": self.worker_id, "lease_ids": [lease_id]},
+                    {
+                        "worker": self.worker_id,
+                        "epoch": self.epoch,
+                        "lease_ids": [lease_id],
+                    },
                 )
             except (FabricConnectionError, FabricProtocolError):
-                pass  # a missed renewal is exactly what the TTL is for
+                self.heartbeat_retries += 1
+                wait = retry_interval
+                continue
+            self.epoch = int(reply.get("epoch", self.epoch))
+            if lease_id in reply.get("lost", []):
+                # Fenced behind a coordinator restart (or genuinely
+                # expired): re-present the lease; a re-adoption makes the
+                # next renewal succeed at the recovered epoch.
+                try:
+                    self._resync()
+                except (FabricConnectionError, FabricProtocolError):
+                    wait = retry_interval
 
-    def _set_lease(self, lease_id: Optional[str]) -> None:
+    def _set_lease(self, lease_id: Optional[str], key: Optional[str] = None) -> None:
         with self._lease_lock:
             self._current_lease_id = lease_id
+            self._current_key = key
+
+    def _resync(self) -> Dict:
+        """``POST /resume``: re-present held leases after a reconnect.
+
+        Updates our view of the coordinator's fencing epoch and counts
+        re-adoptions.  Leases the coordinator tells us to abandon need no
+        local action — their completions would be rejected as stale, and
+        their documents stay pending to ride along with the next
+        accepted completion.
+        """
+        with self._lease_lock:
+            lease_id, key = self._current_lease_id, self._current_key
+        held = [{"lease_id": lease_id, "key": key}] if lease_id else []
+        reply = self.client.post("/resume", {"worker": self.worker_id, "held": held})
+        self.epoch = int(reply.get("epoch", self.epoch))
+        self.readopted += len(reply.get("readopted", []))
+        return reply
+
+    def _reconnect_delay(self, failures: int) -> float:
+        """Capped exponential backoff for coordinator unavailability."""
+        return min(self.poll * (2 ** min(failures - 1, 6)), max(self.ttl / 4.0, self.poll))
+
+    def _post_resilient(self, path: str, body: Dict) -> Dict:
+        """POST with reconnect: back off through coordinator outages.
+
+        After an outage the coordinator we reach may be a restarted one;
+        the caller re-presents held leases (``/resume``) and handles
+        ``stale-epoch`` rejections — this helper only survives the
+        socket-level gap.  Raises once ``max_connect_failures``
+        consecutive attempts fail.
+        """
+        failures = 0
+        while True:
+            try:
+                reply = self.client.post(path, body)
+            except FabricConnectionError:
+                failures += 1
+                if failures > self.max_connect_failures:
+                    raise
+                self._sleep(self._reconnect_delay(failures))
+                continue
+            if failures:
+                self.reconnects += 1
+            return reply
 
     # -- cell execution ----------------------------------------------------
 
@@ -255,12 +355,13 @@ class FabricWorker:
                 kind = classify_failure(exc)
                 if kind in FATAL_KINDS or attempt > self.retry.retries:
                     self.fails_reported += 1
-                    self.client.post(
+                    self._post_resilient(
                         "/fail",
                         {
                             "worker": self.worker_id,
                             "lease_id": lease["lease_id"],
                             "key": lease["key"],
+                            "epoch": self.epoch,
                             "kind": kind,
                             "message": f"{type(exc).__name__}: {exc}",
                             "attempts": attempt,
@@ -268,25 +369,44 @@ class FabricWorker:
                     )
                     return
                 self._sleep(self.retry.delay(task.label, attempt))
-        documents = list(self.store.documents.values())
-        reply = self.client.post(
-            "/complete",
-            {
-                "worker": self.worker_id,
-                "lease_id": lease["lease_id"],
-                "key": lease["key"],
-                "documents": documents,
-            },
-        )
-        if reply.get("accepted"):
-            self.completes_accepted += 1
-            for key in reply.get("stored", []):
-                self.store.documents.pop(key, None)
-        else:
+        resynced = False
+        while True:
+            documents = list(self.store.documents.values())
+            reply = self._post_resilient(
+                "/complete",
+                {
+                    "worker": self.worker_id,
+                    "lease_id": lease["lease_id"],
+                    "key": lease["key"],
+                    "epoch": self.epoch,
+                    "documents": documents,
+                },
+            )
+            if reply.get("accepted"):
+                self.completes_accepted += 1
+                for key in reply.get("stored", []):
+                    self.store.documents.pop(key, None)
+                return
+            if reply.get("reason") == REJECT_STALE_EPOCH and not resynced:
+                # The coordinator restarted under us.  Re-present the
+                # lease; if it is re-adopted at the recovered epoch the
+                # completion goes through exactly once — otherwise fall
+                # through to an ordinary rejection.
+                resynced = True
+                try:
+                    resume = self._resync()
+                except (FabricConnectionError, FabricProtocolError):
+                    resume = {}
+                if any(
+                    item.get("lease_id") == lease["lease_id"]
+                    for item in resume.get("readopted", [])
+                ):
+                    continue
             # Stale or duplicate lease: the shared store already has (or
             # will get) this cell from whoever holds the live lease.  Our
             # unacked documents stay pending for the next completion.
             self.completes_rejected += 1
+            return
 
     # -- main loop ---------------------------------------------------------
 
@@ -301,7 +421,7 @@ class FabricWorker:
                 connect_failures += 1
                 if connect_failures > self.max_connect_failures:
                     raise
-                self._sleep(self.poll)
+                self._sleep(self._reconnect_delay(connect_failures))
         if self.heartbeat_enabled:
             self._heartbeat_thread = threading.Thread(
                 target=self._heartbeat_loop,
@@ -318,15 +438,25 @@ class FabricWorker:
                     connect_failures += 1
                     if connect_failures > self.max_connect_failures:
                         raise
-                    self._sleep(self.poll)
+                    self._sleep(self._reconnect_delay(connect_failures))
                     continue
-                connect_failures = 0
+                if connect_failures:
+                    # The coordinator came back — possibly a restarted
+                    # one.  Refresh our epoch (and re-present anything we
+                    # hold, which between leases is nothing).
+                    self.reconnects += 1
+                    connect_failures = 0
+                    try:
+                        self._resync()
+                    except (FabricConnectionError, FabricProtocolError):
+                        pass
                 if reply.get("done"):
                     break
-                if reply.get("empty"):
+                if reply.get("empty") or reply.get("draining"):
                     self._sleep(float(reply.get("retry_after", self.poll)))
                     continue
                 lease = reply["lease"]
+                self.epoch = int(lease.get("epoch", self.epoch))
                 self.leases_granted += 1
                 if (
                     self.crash_after_lease is not None
@@ -335,7 +465,7 @@ class FabricWorker:
                     # Die *holding* the lease — the canonical dead-worker
                     # scenario the TTL + re-lease machinery exists for.
                     os._exit(CRASH_EXIT_CODE)
-                self._set_lease(lease["lease_id"])
+                self._set_lease(lease["lease_id"], lease["key"])
                 try:
                     if self.lease_hook is not None:
                         self.lease_hook(self, lease)
@@ -355,4 +485,7 @@ class FabricWorker:
             "rejected": self.completes_rejected,
             "failed": self.fails_reported,
             "abandoned": self.abandoned,
+            "reconnects": self.reconnects,
+            "readopted": self.readopted,
+            "heartbeat_retries": self.heartbeat_retries,
         }

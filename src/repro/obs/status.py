@@ -24,7 +24,9 @@ Schema (``validate_status`` checks it; version bumps ``STATUS_SCHEMA``)::
       "workers": {"max": w, "in_flight": [{"label": ..., "seconds": ...}]},
       "retries": <retry-event count>,
       "quarantined": [{"label", "kind", "attempts", "message"}, ...],
-      "metrics": <MetricsRegistry.snapshot()>
+      "metrics": <MetricsRegistry.snapshot()>,
+      # optional recovery metadata (fabric coordinators only):
+      "recoveries": <ledger-replay count>, "epoch": <fencing epoch>
     }
 
 Writes are throttled (``interval`` seconds, default 1) except for state
@@ -136,6 +138,14 @@ def validate_status(doc: Dict) -> List[str]:
         errors.append("retries must be an integer")
     if not isinstance(doc.get("metrics"), dict):
         errors.append("metrics must be an object")
+    # Recovery metadata is optional (only fabric coordinators publish it)
+    # but must be well-formed when present.
+    if "recoveries" in doc and (
+        not isinstance(doc["recoveries"], int) or doc["recoveries"] < 0
+    ):
+        errors.append("recoveries must be a non-negative integer")
+    if "epoch" in doc and (not isinstance(doc["epoch"], int) or doc["epoch"] < 1):
+        errors.append("epoch must be a positive integer")
     return errors
 
 
@@ -156,6 +166,8 @@ class StatusPublisher:
         max_workers: int = 1,
         interval: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
+        recoveries: int = 0,
+        epoch: Optional[int] = None,
         clock=time.time,
     ) -> None:
         self.path = status_path(store_dir)
@@ -163,6 +175,8 @@ class StatusPublisher:
         self.shard = list(shard) if shard is not None else None
         self.max_workers = max_workers
         self.interval = interval
+        self.recoveries = recoveries
+        self.epoch = epoch
         self.registry = registry if registry is not None else MetricsRegistry()
         self._clock = clock
         self.started_at = clock()
@@ -268,7 +282,7 @@ class StatusPublisher:
             if self.state == "running" and throughput > 0 and remaining
             else (0.0 if remaining == 0 or self.state != "running" else None)
         )
-        return {
+        doc = {
             "schema": STATUS_SCHEMA,
             "state": self.state,
             "started_at": round(self.started_at, 3),
@@ -288,6 +302,10 @@ class StatusPublisher:
             "quarantined": self.quarantined,
             "metrics": self.registry.snapshot(),
         }
+        if self.epoch is not None:
+            doc["recoveries"] = self.recoveries
+            doc["epoch"] = self.epoch
+        return doc
 
     def publish(self, force: bool = False) -> None:
         """Write ``status.json`` atomically (throttled unless ``force``)."""

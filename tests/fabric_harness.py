@@ -15,6 +15,13 @@ keeping every failure injection deterministic and in-process:
 * Scripted protocol clients (:class:`~repro.fabric.FabricClient`
   directly) for duplicate completions, stale leases, and out-of-order
   replies.
+* :meth:`CoordinatorThread.kill` + :func:`restart_coordinator` — the
+  coordinator dies without finalizing (no ``close`` ledger record, no
+  ``aborted`` journal line — the in-process stand-in for SIGKILL) and a
+  fresh coordinator replays the write-ahead ledger on the same port.
+* :class:`LeaseGate` — a ``lease_hook`` that parks the worker thread
+  holding a live lease until the test releases it, so a kill can be
+  timed while ≥1 lease is provably outstanding.
 
 Accounting helpers read the shared store's ``journal.jsonl`` — the same
 artifact an operator would grep — to assert lease-exactly-once, and
@@ -81,9 +88,11 @@ class CoordinatorThread:
     def __init__(self, scale, tasks, store_dir, **kwargs):
         kwargs.setdefault("status_interval", 0.05)
         self.coordinator = FabricCoordinator(scale, tasks, store_dir, **kwargs)
+        self.port = None  # captured at start(); survives a kill()
         self._loop = None
         self._ready = threading.Event()
         self._startup_error = None
+        self._killed = False
         self._thread = threading.Thread(
             target=self._run, name="fabric-coordinator", daemon=True
         )
@@ -98,10 +107,14 @@ class CoordinatorThread:
             self._ready.set()
             self._loop.close()
             return
+        self.port = self.coordinator.port
         self._ready.set()
         try:
             self._loop.run_forever()
-            self._loop.run_until_complete(self.coordinator.stop())
+            if self._killed:
+                self._loop.run_until_complete(self.coordinator.abandon())
+            else:
+                self._loop.run_until_complete(self.coordinator.stop())
         finally:
             self._loop.close()
 
@@ -114,7 +127,7 @@ class CoordinatorThread:
 
     @property
     def address(self) -> str:
-        return self.coordinator.address
+        return f"{self.coordinator.host}:{self.port}"
 
     def wait(self, timeout: float = 180.0) -> None:
         assert self.coordinator.completed_event.wait(
@@ -126,11 +139,79 @@ class CoordinatorThread:
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=10)
 
+    def kill(self) -> None:
+        """Die like SIGKILL: no close record, no aborted journal line.
+
+        The socket closes (workers see connection errors) but the ledger
+        keeps whatever was already written ahead — exactly the state a
+        killed coordinator process leaves for :func:`restart_coordinator`
+        to replay.
+        """
+        if self._thread.is_alive():
+            self._killed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
     def __enter__(self) -> "CoordinatorThread":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+
+def restart_coordinator(dead: "CoordinatorThread", **overrides) -> CoordinatorThread:
+    """A fresh coordinator over the dead one's store, on the same port.
+
+    Replays the write-ahead ledger (bumping the fencing epoch) so
+    surviving workers — still polling the address they know — reconnect
+    to the recovered campaign.  Keyword overrides patch the original
+    constructor arguments (ttl, retry, resume_grace, ...).
+    """
+    old = dead.coordinator
+    kwargs = {
+        "host": old.host,
+        "port": dead.port,
+        "ttl": old.ttl,
+        "retry": old.retry,
+        "tick": old.tick,
+        "status_interval": old.status_interval,
+        "token": old.token,
+        "resume_grace": old.resume_grace,
+    }
+    kwargs.update(overrides)
+    return CoordinatorThread(old.scale, old.tasks, old.store.root, **kwargs).start()
+
+
+class LeaseGate:
+    """A ``lease_hook`` that parks lease holders until released.
+
+    The first ``hold`` leases block inside the worker thread (heartbeats
+    keep flowing — the lease stays live) after signalling ``held``; the
+    test can then kill/restart the coordinator at a moment when in-flight
+    state provably exists, and ``release()`` lets execution continue.
+    """
+
+    def __init__(self, hold: int = 1, timeout: float = 60.0):
+        self.hold = hold
+        self.timeout = timeout
+        self.held = threading.Event()  # set once `hold` leases are parked
+        self._release = threading.Event()
+        self._lock = threading.Lock()
+        self._parked = 0
+        self.leases = []  # (worker_id, lease dict) in park order
+
+    def __call__(self, worker, lease):
+        with self._lock:
+            if self._parked >= self.hold or self._release.is_set():
+                return
+            self._parked += 1
+            self.leases.append((worker.worker_id, dict(lease)))
+            if self._parked >= self.hold:
+                self.held.set()
+        assert self._release.wait(self.timeout), "LeaseGate never released"
+
+    def release(self) -> None:
+        self._release.set()
 
 
 class WorkerThread:

@@ -1,11 +1,17 @@
 """Distributed sweep fabric: coordinator, workers, and the wire protocol.
 
-The acceptance story (ISSUE 9): a fabric sweep — coordinator plus
-several workers, one of which crashes mid-campaign and one of which
-abandons a lease — produces a merged store byte-identical to a
-single-process ``run_grid_resumable`` over the same grid, with no cell
-accepted more than once per lease (proven from the journal), and a
-status document that stays schema-valid throughout the churn.
+The acceptance story: a fabric sweep — coordinator plus several
+workers, one of which crashes mid-campaign and one of which abandons a
+lease — produces a merged store byte-identical to a single-process
+``run_grid_resumable`` over the same grid, with no cell accepted more
+than once per lease (proven from the journal), and a status document
+that stays schema-valid throughout the churn.  On top of that, the
+durability story: SIGKILL the coordinator while leases are provably
+outstanding, restart it, and the write-ahead ledger replay + fencing
+epochs + ``/resume`` re-adoption still deliver the same byte-identical
+store with exactly one accepted completion per cell and zero accepted
+stale-epoch replies (``TestRecovery``, ``TestDrain``, ``TestAuth``,
+``TestHeartbeatResilience``).
 
 Everything runs over real localhost sockets via the deterministic
 harness in :mod:`tests.fabric_harness`; protocol edge cases (duplicate
@@ -21,7 +27,9 @@ from repro.experiments import RetryPolicy
 from repro.experiments.parallel import grid_store_keys, run_grid_resumable
 from repro.experiments.runner import Runner
 from repro.fabric import (
+    FABRIC_SCHEMA,
     FabricClient,
+    FabricConnectionError,
     FabricProtocolError,
     FabricWorker,
     protocol,
@@ -33,12 +41,14 @@ from repro.store import ResultStore
 from repro.store.fingerprint import checksum
 from tests.fabric_harness import (
     CoordinatorThread,
+    LeaseGate,
     WorkerCrashed,
     abandon_leases,
     assert_exactly_once,
     crash_on_lease,
     journal,
     lease_accounting,
+    restart_coordinator,
     start_workers,
     store_object_bytes,
 )
@@ -134,6 +144,9 @@ class TestFabricEndToEnd:
             "misses": 0,
             "failed": 0,
             "workers": [],
+            "epoch": 1,
+            "recoveries": 0,
+            "drained": False,
         }
         # No lease was ever granted for warm cells.
         assert lease_accounting(journal(store)) == {}
@@ -153,6 +166,7 @@ class TestFabricEndToEnd:
                     "worker": "script",
                     "lease_id": lease["lease_id"],
                     "key": lease["key"],
+                    "epoch": lease["epoch"],
                     "documents": [fake_document(lease)],
                 },
             )
@@ -172,6 +186,7 @@ class TestLeaseProtocol:
                 "worker": "script",
                 "lease_id": lease["lease_id"],
                 "key": lease["key"],
+                "epoch": lease["epoch"],
                 "documents": [fake_document(lease)],
             }
             first = client.post("/complete", body)
@@ -211,6 +226,7 @@ class TestLeaseProtocol:
                     "worker": "script",
                     "lease_id": lease["lease_id"],
                     "key": lease["key"],
+                    "epoch": lease["epoch"],
                     "documents": [fake_document(lease)],
                 },
             )
@@ -218,9 +234,14 @@ class TestLeaseProtocol:
             assert stale["reason"] == protocol.REJECT_STALE
             # A heartbeat for the dead lease reports it lost.
             beat = client.post(
-                "/heartbeat", {"worker": "script", "lease_ids": [lease["lease_id"]]}
+                "/heartbeat",
+                {
+                    "worker": "script",
+                    "epoch": lease["epoch"],
+                    "lease_ids": [lease["lease_id"]],
+                },
             )
-            assert beat == {"renewed": [], "lost": [lease["lease_id"]]}
+            assert beat["renewed"] == [] and beat["lost"] == [lease["lease_id"]]
             # The cell re-entered the queue: second lease, attempt 2.
             release = client.post("/lease", {"worker": "script"})["lease"]
             assert release["key"] == lease["key"]
@@ -232,6 +253,7 @@ class TestLeaseProtocol:
                     "worker": "script",
                     "lease_id": release["lease_id"],
                     "key": release["key"],
+                    "epoch": release["epoch"],
                     "documents": [fake_document(release)],
                 },
             )
@@ -282,6 +304,7 @@ class TestLeaseProtocol:
                         "worker": "evil",
                         "lease_id": lease["lease_id"],
                         "key": lease["key"],
+                        "epoch": lease["epoch"],
                         "documents": [doc],
                     },
                 )
@@ -308,6 +331,7 @@ class TestLeaseProtocol:
                     "worker": "script",
                     "lease_id": first["lease_id"],
                     "key": first["key"],
+                    "epoch": first["epoch"],
                     "kind": "stall",
                     "message": "livelock watchdog fired",
                     "attempts": 1,
@@ -322,6 +346,7 @@ class TestLeaseProtocol:
                     "worker": "script",
                     "lease_id": second["lease_id"],
                     "key": second["key"],
+                    "epoch": second["epoch"],
                     "documents": [fake_document(second)],
                 },
             )
@@ -429,3 +454,393 @@ class TestProtocolUnits:
         task = tiny_tasks()[0]
         rebuilt = protocol.task_from_fields(protocol.lease_task_fields(task))
         assert rebuilt == task
+
+
+class TestRecovery:
+    def test_kill_restart_byte_identical(self, tmp_path):
+        """The ISSUE 10 acceptance story: SIGKILL the coordinator while a
+        worker provably holds a lease, restart it over the same store,
+        and the finished campaign is byte-identical to an uninterrupted
+        single-process sweep — exactly one accepted completion per cell,
+        zero accepted stale-epoch completions from the survivor."""
+        tasks = tiny_tasks()
+        reference = tmp_path / "ref"
+        run_grid_resumable(TINY, tasks, store_dir=str(reference), max_workers=1)
+
+        fabric = tmp_path / "fab"
+        gate = LeaseGate(hold=1)
+        coord = CoordinatorThread(
+            TINY, tasks, fabric, ttl=3.0, tick=0.02, retry=FAST
+        ).start()
+        workers = start_workers(
+            coord.address,
+            tmp_path,
+            [
+                {
+                    "worker_id": "survivor",
+                    "lease_hook": gate,
+                    "poll": 0.05,
+                    "max_connect_failures": 200,
+                },
+                {"worker_id": "helper", "poll": 0.05, "max_connect_failures": 200},
+            ],
+        )
+        assert gate.held.wait(60), "no lease was parked in time"
+        coord.kill()  # no close record, no aborted journal line
+
+        revived = restart_coordinator(coord)
+        try:
+            assert revived.coordinator.epoch == 2
+            assert revived.coordinator.recoveries == 1
+            gate.release()
+            revived.wait()
+            for thread in workers:
+                thread.join()
+            summary = revived.coordinator.summary()
+        finally:
+            revived.stop()
+
+        assert summary["state"] == "complete"
+        assert summary["completed"] == len(revived.coordinator.cells)
+        assert summary["failed"] == 0 and summary["recoveries"] == 1
+
+        entries = journal(fabric)
+        events = [e["event"] for e in entries]
+        assert protocol.EV_RECOVER in events
+        # The survivor's parked lease crossed the restart: it was either
+        # re-adopted via /resume or (if the complete raced the resume)
+        # fenced as stale-epoch and retried once — never accepted twice.
+        assert_exactly_once(entries, set(grid_store_keys(TINY, tasks)))
+        completes = [e for e in entries if e["event"] == protocol.EV_COMPLETE]
+        assert len(completes) == len(revived.coordinator.cells)
+
+        final = read_status(fabric)
+        assert validate_status(final) == []
+        assert final["state"] == "complete"
+        assert final["recoveries"] == 1 and final["epoch"] == 2
+
+        assert store_object_bytes(reference) == store_object_bytes(fabric)
+
+    def test_replay_restores_retry_and_quarantine_state(self, tmp_path):
+        """Backoff deadlines, attempt counts, and the quarantine roster
+        survive a kill: the revived coordinator refuses to re-lease a
+        quarantined cell and continues a retried cell at attempt 2."""
+        tasks = tiny_tasks()[:2]
+        store = tmp_path / "s"
+        coord = CoordinatorThread(
+            TINY,
+            tasks,
+            store,
+            ttl=30.0,
+            tick=0.02,
+            retry=RetryPolicy(retries=2, backoff_base=0.0),
+        ).start()
+        client = FabricClient(coord.address)
+        first = client.post("/lease", {"worker": "script"})["lease"]
+        # Quarantine cell 1 deterministically, burn one attempt on cell 2.
+        client.post(
+            "/fail",
+            {
+                "worker": "script",
+                "lease_id": first["lease_id"],
+                "key": first["key"],
+                "epoch": first["epoch"],
+                "kind": "stall",
+                "message": "livelock watchdog fired",
+                "attempts": 1,
+            },
+        )
+        second = client.post("/lease", {"worker": "script"})["lease"]
+        client.post(
+            "/fail",
+            {
+                "worker": "script",
+                "lease_id": second["lease_id"],
+                "key": second["key"],
+                "epoch": second["epoch"],
+                "kind": "error",
+                "message": "transient",
+                "attempts": 1,
+            },
+        )
+        coord.kill()
+
+        revived = restart_coordinator(coord)
+        try:
+            assert revived.coordinator.recoveries == 1
+            assert len(revived.coordinator.failures) == 1
+            assert revived.coordinator.failures[0]["kind"] == "stall"
+            client = FabricClient(revived.address)
+            release = client.post("/lease", {"worker": "script"})["lease"]
+            # Only the retried cell is grantable, and its history held.
+            assert release["key"] == second["key"]
+            assert release["attempt"] == 2
+            assert release["epoch"] == 2
+            reply = client.post(
+                "/complete",
+                {
+                    "worker": "script",
+                    "lease_id": release["lease_id"],
+                    "key": release["key"],
+                    "epoch": release["epoch"],
+                    "documents": [fake_document(release)],
+                },
+            )
+            assert reply["accepted"]
+            revived.wait(timeout=10)
+            summary = revived.coordinator.summary()
+        finally:
+            revived.stop()
+        assert summary["state"] == "complete"
+        assert summary["completed"] == 1 and summary["failed"] == 1
+
+    def test_stale_epoch_completion_fenced(self, tmp_path):
+        """A zombie holding a pre-restart lease cannot complete a cell
+        the revived coordinator re-leased: its reply is deterministically
+        rejected ``stale-epoch`` (epoch alone distinguishes it from an
+        ordinary stale lease)."""
+        tasks = tiny_tasks()[:1]
+        store = tmp_path / "s"
+        coord = CoordinatorThread(
+            TINY, tasks, store, ttl=30.0, tick=0.02, resume_grace=0.0
+        ).start()
+        client = FabricClient(coord.address)
+        zombie = client.post("/lease", {"worker": "zombie"})["lease"]
+        assert zombie["epoch"] == 1
+        coord.kill()
+
+        revived = restart_coordinator(coord)
+        try:
+            client = FabricClient(revived.address)
+            # The zombie replays its epoch-1 view verbatim.
+            reply = client.post(
+                "/complete",
+                {
+                    "worker": "zombie",
+                    "lease_id": zombie["lease_id"],
+                    "key": zombie["key"],
+                    "epoch": zombie["epoch"],
+                    "documents": [fake_document(zombie)],
+                },
+            )
+            assert not reply["accepted"]
+            assert reply["reason"] == protocol.REJECT_STALE_EPOCH
+            beat = client.post(
+                "/heartbeat",
+                {
+                    "worker": "zombie",
+                    "epoch": zombie["epoch"],
+                    "lease_ids": [zombie["lease_id"]],
+                },
+            )
+            assert beat["lost"] == [zombie["lease_id"]]
+            assert beat["epoch"] == 2
+            # Nothing was stored for the fenced completion.
+            assert ResultStore(store).get(zombie["key"]) is None
+        finally:
+            revived.stop()
+        rejects = [
+            e for e in journal(store) if e.get("event") == protocol.EV_REJECT
+        ]
+        assert protocol.REJECT_STALE_EPOCH in {e["reason"] for e in rejects}
+
+    def test_resume_readopts_surviving_lease(self, tmp_path):
+        """/resume re-adopts a matching pre-restart lease at the current
+        epoch (making it completable) and instructs abandonment of
+        anything it does not recognize."""
+        tasks = tiny_tasks()[:1]
+        store = tmp_path / "s"
+        coord = CoordinatorThread(TINY, tasks, store, ttl=30.0, tick=0.02).start()
+        client = FabricClient(coord.address)
+        lease = client.post("/lease", {"worker": "survivor"})["lease"]
+        coord.kill()
+
+        revived = restart_coordinator(coord)
+        try:
+            client = FabricClient(revived.address)
+            reply = client.post(
+                "/resume",
+                {
+                    "worker": "survivor",
+                    "held": [
+                        {"lease_id": lease["lease_id"], "key": lease["key"]},
+                        {"lease_id": "L99999-bogus", "key": lease["key"]},
+                    ],
+                },
+            )
+            assert reply["epoch"] == 2
+            assert [r["lease_id"] for r in reply["readopted"]] == [lease["lease_id"]]
+            assert reply["abandon"] == ["L99999-bogus"]
+            accepted = client.post(
+                "/complete",
+                {
+                    "worker": "survivor",
+                    "lease_id": lease["lease_id"],
+                    "key": lease["key"],
+                    "epoch": 2,
+                    "documents": [fake_document(lease)],
+                },
+            )
+            assert accepted["accepted"]
+            revived.wait(timeout=10)
+        finally:
+            revived.stop()
+        events = [e["event"] for e in journal(store)]
+        assert protocol.EV_READOPT in events
+        assert_exactly_once(journal(store), {lease["key"]})
+
+
+class TestDrain:
+    def test_drain_finishes_in_flight_then_ledger_resumes_rest(self, tmp_path):
+        """/drain stops granting, lets the in-flight lease finish, and
+        finalizes with ``drained`` set; a later coordinator resumes the
+        remainder from the ledger to a store byte-identical to an
+        uninterrupted sweep."""
+        tasks = tiny_tasks()
+        reference = tmp_path / "ref"
+        run_grid_resumable(TINY, tasks, store_dir=str(reference), max_workers=1)
+
+        fabric = tmp_path / "fab"
+        gate = LeaseGate(hold=1)
+        coord = CoordinatorThread(
+            TINY, tasks, fabric, ttl=10.0, tick=0.02, retry=FAST
+        ).start()
+        workers = start_workers(
+            coord.address,
+            tmp_path,
+            [{"worker_id": "w0", "lease_hook": gate, "poll": 0.05}],
+        )
+        assert gate.held.wait(60)
+        client = FabricClient(coord.address)
+        reply = client.post("/drain", {})
+        assert reply["draining"] and reply["leased"] == 1
+        # Draining: no new grants, but heartbeats/completions still work.
+        assert client.post("/lease", {"worker": "poller"}).get("draining")
+        gate.release()
+        coord.wait()
+        summary = coord.coordinator.summary()
+        for thread in workers:
+            thread.join()
+        coord.stop()
+
+        assert summary["drained"] is True
+        assert summary["state"] == "aborted"  # work remained, cleanly parked
+        assert summary["completed"] >= 1
+        events = [e["event"] for e in journal(fabric)]
+        assert protocol.EV_DRAIN in events
+
+        # A fresh coordinator picks the remainder up from the ledger.
+        revived = restart_coordinator(coord)
+        try:
+            finishers = start_workers(
+                revived.address, tmp_path / "r2", [{"worker_id": "w1", "poll": 0.05}]
+            )
+            revived.wait()
+            for thread in finishers:
+                thread.join()
+            final = revived.coordinator.summary()
+        finally:
+            revived.stop()
+        assert final["state"] == "complete" and final["failed"] == 0
+        assert_exactly_once(journal(fabric), set(grid_store_keys(TINY, tasks)))
+        assert store_object_bytes(reference) == store_object_bytes(fabric)
+
+    def test_drain_on_idle_campaign_completes_immediately(self, tmp_path):
+        tasks = tiny_tasks()[:2]
+        with CoordinatorThread(TINY, tasks, tmp_path / "s", ttl=30.0) as coord:
+            client = FabricClient(coord.address)
+            assert client.post("/drain", {})["draining"]
+            coord.wait(timeout=10)
+            summary = coord.coordinator.summary()
+        assert summary["drained"] is True and summary["completed"] == 0
+
+
+class TestAuth:
+    def test_token_enforced_on_every_endpoint(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(
+            TINY, tasks, tmp_path / "s", ttl=30.0, token="sekrit"
+        ) as coord:
+            bare = FabricClient(coord.address)
+            with pytest.raises(FabricProtocolError, match="presented no token"):
+                bare.get("/grid")
+            with pytest.raises(FabricProtocolError, match="401"):
+                bare.post("/lease", {"worker": "w"})
+            wrong = FabricClient(coord.address, token="nope")
+            with pytest.raises(FabricProtocolError, match="different token"):
+                wrong.get("/grid")
+            ok = FabricClient(coord.address, token="sekrit")
+            assert ok.get("/grid")["schema"] == FABRIC_SCHEMA
+            # An authed worker drives the campaign end to end.
+            worker = FabricWorker(
+                "w",
+                coord.address,
+                tmp_path / "scratch",
+                retry=FAST,
+                poll=0.05,
+                token="sekrit",
+            )
+            summary = worker.run()
+            coord.wait(timeout=30)
+        assert summary["completed"] == 1
+
+    def test_worker_handshake_names_the_mismatch(self, tmp_path):
+        tasks = tiny_tasks()[:1]
+        with CoordinatorThread(
+            TINY, tasks, tmp_path / "s", ttl=30.0, token="sekrit"
+        ) as coord:
+            worker = FabricWorker("w", coord.address, tmp_path / "scratch")
+            with pytest.raises(FabricProtocolError, match="token mismatch"):
+                worker.run()
+
+
+class TestHeartbeatResilience:
+    def test_transient_heartbeat_failures_do_not_expire_lease(self, tmp_path):
+        """The satellite fix: heartbeat send errors retry at ttl/12, so a
+        cell that outlives the TTL survives a burst of dropped renewals
+        (under the old swallow-and-wait behavior the lease would expire
+        while the simulation kept running)."""
+        tasks = tiny_tasks()[:1]
+        store = tmp_path / "s"
+
+        class _Slow:
+            def __init__(self, scale, inner_store):
+                self.inner = Runner(scale, store=inner_store)
+
+            def competitive(self, *args, **kwargs):
+                time.sleep(1.6)  # 2x the TTL: only renewals keep the lease
+                return self.inner.competitive(*args, **kwargs)
+
+        with CoordinatorThread(
+            TINY,
+            tasks,
+            store,
+            ttl=0.8,
+            tick=0.02,
+            retry=RetryPolicy(retries=0, backoff_base=0.0),
+        ) as coord:
+            worker = FabricWorker(
+                "w",
+                coord.address,
+                tmp_path / "scratch",
+                retry=FAST,
+                poll=0.05,
+                runner_factory=lambda scale, s: _Slow(scale, s),
+            )
+            real_post = worker.client.post
+            drops = {"n": 0}
+
+            def flaky_post(path, body):
+                if path == "/heartbeat" and drops["n"] < 4:
+                    drops["n"] += 1
+                    raise FabricConnectionError("injected heartbeat drop")
+                return real_post(path, body)
+
+            worker.client.post = flaky_post
+            summary = worker.run()
+            coord.wait(timeout=30)
+        assert drops["n"] == 4
+        assert summary["completed"] == 1 and summary["leases"] == 1
+        assert summary["heartbeat_retries"] >= 4
+        events = [e["event"] for e in journal(store)]
+        assert protocol.EV_EXPIRE not in events
